@@ -1,0 +1,87 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (or one of the
+extra experiments listed in DESIGN.md).  The regenerated artefact is printed
+to stdout (run pytest with ``-s`` to see the tables) and the timed portion is
+the computational kernel behind it, so ``pytest benchmarks/ --benchmark-only``
+both reproduces the artefacts and reports their cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ate import PopulationGenerator
+from repro.ate.programs import REGULATOR_CONDITION_SETS, build_functional_program
+from repro.circuits import BehavioralSimulator, build_hypothetical_circuit, build_voltage_regulator
+from repro.core import DiagnosisEngine, Dlog2BBN
+from repro.core.behavioral_prior import SimulationPriorBuilder
+
+#: Seeds used throughout the harness so every run regenerates the same tables.
+PRIOR_SEED = 7
+POPULATION_SEED = 12
+SIMULATOR_SEED = 11
+
+
+@pytest.fixture(scope="session")
+def regulator_circuit():
+    """The industrial voltage-regulator circuit bundle."""
+    return build_voltage_regulator()
+
+
+@pytest.fixture(scope="session")
+def hypothetical_circuit():
+    """The Fig. 1 hypothetical circuit bundle."""
+    return build_hypothetical_circuit()
+
+
+@pytest.fixture(scope="session")
+def regulator_program(regulator_circuit):
+    """The regulator's no-stop-on-fail functional test program."""
+    return build_functional_program("vr_functional", regulator_circuit.model,
+                                    REGULATOR_CONDITION_SETS)
+
+
+@pytest.fixture(scope="session")
+def regulator_simulator(regulator_circuit):
+    """Behavioural simulator of the regulator with process variation."""
+    return BehavioralSimulator(
+        regulator_circuit.netlist,
+        process_variation=regulator_circuit.process_variation,
+        seed=SIMULATOR_SEED)
+
+
+@pytest.fixture(scope="session")
+def regulator_prior(regulator_circuit):
+    """Simulation-derived designer prior (the paper's designer estimate)."""
+    builder = SimulationPriorBuilder(
+        regulator_circuit.netlist, regulator_circuit.model,
+        [cs.conditions for cs in REGULATOR_CONDITION_SETS],
+        fault_probability=regulator_circuit.designer_fault_probabilities,
+        process_variation=regulator_circuit.process_variation,
+        samples=3000, seed=PRIOR_SEED)
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def failed_population(regulator_circuit, regulator_program, regulator_simulator):
+    """The synthetic stand-in for the paper's 70 failed customer returns."""
+    generator = PopulationGenerator(
+        regulator_simulator, regulator_program, regulator_circuit.fault_universe,
+        regulator_circuit.block_weights, seed=POPULATION_SEED)
+    return generator.generate(failed_count=70)
+
+
+@pytest.fixture(scope="session")
+def built_model(regulator_circuit, regulator_prior, failed_population):
+    """The BBN circuit model: designer prior fine-tuned on the 70 failed devices."""
+    builder = Dlog2BBN(regulator_circuit.model, regulator_circuit.healthy_states)
+    cases = builder.case_generator().cases_from_results(failed_population.results)
+    return builder.build(cases, method="bayes", prior_network=regulator_prior,
+                         equivalent_sample_size=200)
+
+
+@pytest.fixture(scope="session")
+def diagnosis_engine(built_model):
+    """Diagnosis engine bound to the fine-tuned model."""
+    return DiagnosisEngine(built_model)

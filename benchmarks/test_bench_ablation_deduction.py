@@ -1,0 +1,62 @@
+"""Ablation — iterative parent back-tracking vs plain max-posterior ranking.
+
+The paper deduces the failing candidates by iteratively walking the
+parent–child relations (Section IV-B); a naive alternative is to simply
+report the internal block with the highest fail probability.  This ablation
+scores both on the paper's five cases (using the paper's own published
+posteriors, so the comparison isolates the deduction rule from the CPTs).
+Expected shape: back-tracking recovers the paper's suspects in every case,
+while the naive ranking confuses consequences with causes (the enable gates
+outrank their failing parent in d1, d3 and d4).
+"""
+
+from __future__ import annotations
+
+from repro.core.paper_cases import (
+    PAPER_DIAGNOSTIC_CASES,
+    PAPER_EXPECTED_SUSPECTS,
+    PAPER_INTERNAL_PROBABILITIES,
+)
+from repro.utils.tables import format_table
+
+
+def paper_posteriors_for(engine, column):
+    model = engine.model
+    posteriors = {}
+    for variable in model.variable_names:
+        labels = model.state_table(variable).labels
+        healthy = engine.healthy_states[variable]
+        posteriors[variable] = {label: 1.0 if label == healthy else 0.0
+                                for label in labels}
+    posteriors.update(PAPER_INTERNAL_PROBABILITIES[column])
+    return posteriors
+
+
+def run_ablation(engine):
+    results = []
+    for case in PAPER_DIAGNOSTIC_CASES:
+        posteriors = paper_posteriors_for(engine, case.name)
+        deduced = set(engine.deduce_candidates(posteriors))
+        naive_top = engine.rank_by_fail_probability(posteriors)[0][0]
+        expected = set(PAPER_EXPECTED_SUSPECTS[case.name])
+        results.append((case.name, expected, deduced, naive_top))
+    return results
+
+
+def test_bench_ablation_deduction(benchmark, diagnosis_engine):
+    results = benchmark(run_ablation, diagnosis_engine)
+
+    rows = [[name, ", ".join(sorted(expected)), ", ".join(sorted(deduced)), naive]
+            for name, expected, deduced, naive in results]
+    print()
+    print(format_table(["Case", "Paper suspects", "Back-tracking", "Naive top-1"],
+                       rows,
+                       title="Ablation: candidate deduction rule "
+                             "(on the paper's published posteriors)"))
+
+    deduction_exact = sum(deduced == expected for _, expected, deduced, _ in results)
+    naive_exact = sum({naive} == expected for _, expected, _, naive in results)
+    # The automated back-tracking reproduces all five manual deductions; the
+    # naive ranking does not.
+    assert deduction_exact == 5
+    assert naive_exact < deduction_exact

@@ -1,0 +1,63 @@
+"""Ablation — designer prior vs uniform prior before fine-tuning.
+
+DESIGN.md calls out the role of the designer-provided CPT estimate.  This
+ablation builds the regulator model three ways — designer (simulation) prior
+only, uniform prior fine-tuned on the 70 failed devices, and designer prior
+fine-tuned on the same devices — and scores each on the five paper cases.
+Expected shape: the designer prior is what makes the paper cases diagnosable;
+a uniform prior fine-tuned on observables alone cannot localise internal
+blocks because their states never appear in the ATE cases.
+"""
+
+from __future__ import annotations
+
+from repro.core import DiagnosisEngine, Dlog2BBN
+from repro.core.paper_cases import PAPER_DIAGNOSTIC_CASES, PAPER_EXPECTED_SUSPECTS
+from repro.utils.tables import format_table
+
+
+def score_engine(engine):
+    exact = overlap = 0
+    for case in PAPER_DIAGNOSTIC_CASES:
+        suspects = set(engine.diagnose(case).suspects)
+        expected = set(PAPER_EXPECTED_SUSPECTS[case.name])
+        exact += suspects == expected
+        overlap += bool(suspects & expected)
+    return exact, overlap
+
+
+def run_ablation(regulator_circuit, regulator_prior, failed_population):
+    builder = Dlog2BBN(regulator_circuit.model, regulator_circuit.healthy_states)
+    cases = builder.case_generator().cases_from_results(failed_population.results)
+
+    designer_only = builder.build(prior_network=regulator_prior)
+    uniform_tuned = builder.build(cases, method="bayes",
+                                  prior_network=builder.build_structure().with_uniform_cpds(
+                                      regulator_circuit.model.cardinalities(),
+                                      regulator_circuit.model.state_names()),
+                                  equivalent_sample_size=50)
+    designer_tuned = builder.build(cases, method="bayes",
+                                   prior_network=regulator_prior,
+                                   equivalent_sample_size=200)
+    return {
+        "designer prior only": score_engine(DiagnosisEngine(designer_only)),
+        "uniform prior + 70 devices": score_engine(DiagnosisEngine(uniform_tuned)),
+        "designer prior + 70 devices": score_engine(DiagnosisEngine(designer_tuned)),
+    }
+
+
+def test_bench_ablation_priors(benchmark, regulator_circuit, regulator_prior,
+                               failed_population):
+    scores = benchmark(run_ablation, regulator_circuit, regulator_prior,
+                       failed_population)
+
+    rows = [[name, exact, overlap] for name, (exact, overlap) in scores.items()]
+    print()
+    print(format_table(["Configuration", "Exact suspect matches (of 5)",
+                        "Overlapping matches (of 5)"], rows,
+                       title="Ablation: designer prior vs uniform prior"))
+
+    designer_exact, _ = scores["designer prior + 70 devices"]
+    uniform_exact, _ = scores["uniform prior + 70 devices"]
+    assert designer_exact >= 3
+    assert designer_exact >= uniform_exact

@@ -1,0 +1,51 @@
+"""Fig. 1 + Table I + Table II — the hypothetical circuit and its BBN structure.
+
+Regenerates the paper's teaching example: the four-block hypothetical circuit
+(Fig. 1a), its BBN structural model (Fig. 1b), the model functional types
+(Table I) and the model-variable state definitions (Table II).
+"""
+
+from __future__ import annotations
+
+from repro.circuits import build_hypothetical_circuit
+from repro.utils.tables import format_table
+
+
+def build_structure_artifacts():
+    circuit = build_hypothetical_circuit()
+    model = circuit.model
+    type_rows = model.functional_type_rows()
+    state_rows = model.state_definition_rows()
+    edges = model.dependencies
+    return type_rows, state_rows, edges
+
+
+def test_bench_fig1_hypothetical_structure(benchmark):
+    type_rows, state_rows, edges = benchmark(build_structure_artifacts)
+
+    print()
+    print(format_table(["Model", "Type", "Remarks"], type_rows,
+                       title="Table I: model functional type"))
+    print()
+    print(format_table(["Block", "State", "LLimit", "ULimit", "Remarks"],
+                       state_rows,
+                       title="Table II: model variables state definitions"))
+    print()
+    print(format_table(["Parent", "Child"], edges,
+                       title="Fig. 1b: BBN structural model (dependency arcs)"))
+
+    # Table I shape: four model variables with the paper's functional types.
+    assert len(type_rows) == 4
+    types = {row[0]: row[1] for row in type_rows}
+    assert types["block1"] == "CONTROL"
+    assert types["block2"] == "CONTROL/OBSERVE"
+    assert types["block3"] == "NOT CONTROL/OBSERVE"
+    assert types["block4"] == "OBSERVE"
+    # Table II shape: Block-1 has three usable states, the others two.
+    per_block = {}
+    for block, *_ in state_rows:
+        per_block[block] = per_block.get(block, 0) + 1
+    assert per_block == {"block1": 3, "block2": 2, "block3": 2, "block4": 2}
+    # Fig. 1b: the three dependency arcs of the paper.
+    assert set(edges) == {("block1", "block2"), ("block1", "block3"),
+                          ("block3", "block4")}

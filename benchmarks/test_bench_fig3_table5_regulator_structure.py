@@ -1,0 +1,46 @@
+"""Fig. 2/Fig. 3 + Table V — the voltage regulator's model variables and BBN structure.
+
+Regenerates Table V (the 19 BBN model variables with circuit references and
+functional types) and the Fig. 3 dependency arcs of the multiple-output
+voltage regulator.
+"""
+
+from __future__ import annotations
+
+from repro.circuits import build_voltage_regulator
+from repro.core.blocks import BlockType
+from repro.utils.tables import format_table
+
+
+def build_regulator_structure():
+    circuit = build_voltage_regulator()
+    model = circuit.model
+    rows = [[variable.name, variable.circuit_reference or "-",
+             variable.block_type.value]
+            for variable in model.variables]
+    return model, rows
+
+
+def test_bench_fig3_table5_regulator_structure(benchmark):
+    model, rows = benchmark(build_regulator_structure)
+
+    print()
+    print(format_table(["MVar.", "Ckt. Ref.", "Type"], rows,
+                       title="Table V: BBN model variables of the voltage regulator"))
+    print()
+    print(format_table(["Parent", "Child"], model.dependencies,
+                       title="Fig. 3: BBN structural dependencies (reconstructed)"))
+
+    # Table V shape: 19 model variables, 6 controllable, 5 observable, 8 internal.
+    assert len(rows) == 19
+    assert len(model.variables_of_type(BlockType.CONTROL)) == 6
+    assert len(model.variables_of_type(BlockType.OBSERVE)) == 5
+    assert len(model.variables_of_type(BlockType.INTERNAL)) == 8
+    # vx and hcbg have no circuit reference ("not depicted" in the paper).
+    references = {row[0]: row[1] for row in rows}
+    assert references["vx"] == "-"
+    assert references["hcbg"] == "-"
+    # Structural facts the paper states explicitly.
+    assert set(model.parents_of("warnvpst")) >= {"lcbg", "hcbg"}
+    assert set(model.parents_of("vx")) == {"enb13_pin", "enb4_pin", "enbsw_pin"}
+    assert model.graph.topological_sort()  # acyclic

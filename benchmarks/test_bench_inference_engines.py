@@ -1,0 +1,63 @@
+"""Extra experiment — exact vs approximate inference engines on the regulator BBN.
+
+Netica (the paper's engine) compiles the network into a junction tree.  This
+benchmark compares the posteriors and the runtime of variable elimination,
+junction-tree belief propagation, likelihood weighting and Gibbs sampling on
+the diagnostic query of case d1.  Expected shape: both exact engines agree to
+numerical precision; the sampling engines approach them with bounded error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import GibbsSampling, JunctionTree, LikelihoodWeighting, VariableElimination
+from repro.core.paper_cases import PAPER_DIAGNOSTIC_CASES
+from repro.utils.tables import format_table
+
+INTERNAL_QUERY = ["warnvpst", "hcbg", "lcbg", "enb13"]
+
+
+@pytest.fixture(scope="module")
+def evidence():
+    return PAPER_DIAGNOSTIC_CASES[0].evidence()
+
+
+def posterior_map(engine, evidence):
+    return {variable: engine.posterior(variable, evidence)
+            for variable in INTERNAL_QUERY}
+
+
+@pytest.mark.parametrize("engine_name", ["variable_elimination", "junction_tree",
+                                         "likelihood_weighting", "gibbs"])
+def test_bench_inference_engines(benchmark, built_model, evidence, engine_name):
+    network = built_model.network
+    if engine_name == "variable_elimination":
+        engine = VariableElimination(network)
+    elif engine_name == "junction_tree":
+        engine = JunctionTree(network)
+    elif engine_name == "likelihood_weighting":
+        engine = LikelihoodWeighting(network, num_samples=3000, seed=5)
+    else:
+        engine = GibbsSampling(network, num_samples=800, burn_in=100, seed=6)
+
+    posteriors = benchmark(posterior_map, engine, evidence)
+
+    exact = posterior_map(VariableElimination(network), evidence)
+    rows = []
+    worst = 0.0
+    for variable in INTERNAL_QUERY:
+        for state, probability in posteriors[variable].items():
+            error = abs(probability - exact[variable][state])
+            worst = max(worst, error)
+            rows.append([variable, state, f"{exact[variable][state]:.4f}",
+                         f"{probability:.4f}", f"{error:.4f}"])
+    print()
+    print(format_table(["Variable", "State", "Exact", engine_name, "Abs. error"],
+                       rows, title=f"Case d1 posteriors: {engine_name} vs exact"))
+
+    if engine_name in ("variable_elimination", "junction_tree"):
+        assert worst < 1e-6
+    else:
+        assert worst < 0.12

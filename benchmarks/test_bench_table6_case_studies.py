@@ -1,0 +1,38 @@
+"""Table VI — the five diagnostic case studies and their deduced fail blocks.
+
+Regenerates the Table VI summary: for each case d1–d5 the controllable
+states, the observable states, the paper's expert fail blocks and the suspect
+blocks this reproduction deduces.  The timed kernel is the five diagnostic
+queries (evidence entry + posterior update + candidate deduction).
+"""
+
+from __future__ import annotations
+
+from repro.core.paper_cases import PAPER_DIAGNOSTIC_CASES, PAPER_EXPECTED_SUSPECTS
+from repro.core.report import case_summary_table
+
+
+def test_bench_table6_case_studies(benchmark, diagnosis_engine):
+    diagnoses = benchmark(
+        lambda: [diagnosis_engine.diagnose(case) for case in PAPER_DIAGNOSTIC_CASES])
+
+    print()
+    print(case_summary_table(PAPER_DIAGNOSTIC_CASES, diagnoses))
+    print()
+    print("Paper vs measured suspect blocks:")
+    exact = 0
+    for diagnosis in diagnoses:
+        expected = set(PAPER_EXPECTED_SUSPECTS[diagnosis.case_name])
+        got = set(diagnosis.suspects)
+        verdict = "exact" if got == expected else (
+            "partial" if got & expected else "miss")
+        exact += got == expected
+        print(f"  {diagnosis.case_name}: paper={sorted(expected)} "
+              f"measured={sorted(got)} [{verdict}]")
+
+    # Reproduction bar: at least three of the five cases point exactly at the
+    # paper's suspects and every case overlaps the paper's suspect set.
+    assert exact >= 3
+    for diagnosis in diagnoses:
+        assert set(diagnosis.suspects) & set(
+            PAPER_EXPECTED_SUSPECTS[diagnosis.case_name]), diagnosis.case_name

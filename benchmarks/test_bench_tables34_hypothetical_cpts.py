@@ -1,0 +1,72 @@
+"""Table III + Table IV — conditional probability tables of the hypothetical circuit.
+
+The paper shows the CPT layout for (Block-1 -> Block-2), (Block-1 -> Block-3)
+and (Block-3 -> Block-4) and learns the entries from cases.  This benchmark
+generates cases from the behavioural hypothetical circuit, learns the CPTs
+and prints them in the paper's layout.  The reproduction check is on shape:
+an operational parent makes the child overwhelmingly operational, a
+non-operational parent makes it overwhelmingly non-operational.
+"""
+
+from __future__ import annotations
+
+from repro.ate import PopulationGenerator
+from repro.ate.programs import HYPOTHETICAL_CONDITION_SETS, build_functional_program
+from repro.circuits import BehavioralSimulator, build_hypothetical_circuit
+from repro.core import Dlog2BBN
+from repro.core.behavioral_prior import SimulationPriorBuilder
+from repro.utils.tables import format_table
+
+
+def learn_hypothetical_cpts():
+    circuit = build_hypothetical_circuit()
+    program = build_functional_program("hypo", circuit.model,
+                                       HYPOTHETICAL_CONDITION_SETS)
+    simulator = BehavioralSimulator(circuit.netlist, seed=41)
+    generator = PopulationGenerator(simulator, program, circuit.fault_universe,
+                                    seed=42)
+    population = generator.generate(failed_count=60, passing_count=20)
+    builder = Dlog2BBN(circuit.model, circuit.healthy_states)
+    prior = SimulationPriorBuilder(
+        circuit.netlist, circuit.model,
+        [cs.conditions for cs in HYPOTHETICAL_CONDITION_SETS],
+        fault_probability=0.15, samples=1500, seed=43).build()
+    cases = builder.case_generator().cases_from_results(population.results)
+    built = builder.build(cases, method="bayes", prior_network=prior,
+                          equivalent_sample_size=30)
+    return built.network
+
+
+def cpt_rows(network, child, parent):
+    cpd = network.get_cpd(child)
+    rows = []
+    parent_states = cpd.state_names[parent]
+    child_states = cpd.state_names[child]
+    for parent_state in parent_states:
+        distribution = cpd.distribution({parent: parent_state})
+        rows.append([f"{parent} state {parent_state}"]
+                    + [f"{distribution[state]:.3f}" for state in child_states])
+    return ["Parent"] + [f"P({child}={state})" for state in child_states], rows
+
+
+def test_bench_tables34_hypothetical_cpts(benchmark):
+    network = benchmark(learn_hypothetical_cpts)
+
+    for child, parent, title in (("block2", "block1", "Table III (left): Block-1 -> Block-2"),
+                                 ("block3", "block1", "Table III (right): Block-1 -> Block-3"),
+                                 ("block4", "block3", "Table IV: Block-3 -> Block-4")):
+        header, rows = cpt_rows(network, child, parent)
+        print()
+        print(format_table(header, rows, title=title))
+
+    # Shape check: conditioned on an operational Block-1 (state 2), Block-2
+    # and Block-3 are most probably operational; conditioned on a
+    # non-operational Block-3, Block-4 is most probably non-operational.
+    block2 = network.get_cpd("block2")
+    block3 = network.get_cpd("block3")
+    block4 = network.get_cpd("block4")
+    assert block2.probability("1", {"block1": "2"}) > 0.6
+    assert block3.probability("1", {"block1": "2"}) > 0.6
+    assert block2.probability("0", {"block1": "0"}) > 0.6
+    assert block4.probability("0", {"block3": "0"}) > 0.6
+    assert block4.probability("1", {"block3": "1"}) > 0.6

@@ -1,0 +1,74 @@
+"""Extra experiment — sensitivity to the number of failed training devices.
+
+The paper fine-tuned the regulator CPTs with cases from 70 failed products.
+This benchmark sweeps the training-set size (0, 10, 30, 70 devices) and
+reports the log-likelihood the fine-tuned model assigns to a held-out failed
+population.  Expected shape: more training devices never hurt the held-out
+fit, and the designer prior alone (0 devices) is already usable — which is
+exactly why the paper's flow starts from the designer estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ate import PopulationGenerator
+from repro.bayesnet import VariableElimination
+from repro.circuits import BehavioralSimulator
+from repro.core import Dlog2BBN
+from repro.utils.tables import format_table
+
+TRAINING_SIZES = [0, 10, 30, 70]
+
+
+def heldout_log_likelihood(network, cases):
+    engine = VariableElimination(network)
+    total = 0.0
+    for case in cases:
+        evidence = {variable: state for variable, state in case.observed().items()}
+        probability = engine.probability_of_evidence(evidence)
+        total += float(np.log(max(probability, 1e-12)))
+    return total / len(cases)
+
+
+def sweep(regulator_circuit, regulator_program, regulator_prior):
+    simulator = BehavioralSimulator(
+        regulator_circuit.netlist,
+        process_variation=regulator_circuit.process_variation, seed=111)
+    generator = PopulationGenerator(
+        simulator, regulator_program, regulator_circuit.fault_universe,
+        regulator_circuit.block_weights, seed=112)
+    builder = Dlog2BBN(regulator_circuit.model, regulator_circuit.healthy_states)
+    case_generator = builder.case_generator()
+
+    training = generator.generate(failed_count=max(TRAINING_SIZES))
+    heldout = generator.generate(failed_count=25)
+    heldout_cases = case_generator.cases_from_results(heldout.failing_results)
+
+    results = []
+    for size in TRAINING_SIZES:
+        subset = training.results[:size]
+        cases = case_generator.cases_from_results(subset) if size else []
+        built = builder.build(cases, method="bayes", prior_network=regulator_prior,
+                              equivalent_sample_size=50)
+        results.append((size, len(cases),
+                        heldout_log_likelihood(built.network, heldout_cases)))
+    return results
+
+
+def test_bench_training_set_size(benchmark, regulator_circuit, regulator_program,
+                                 regulator_prior):
+    results = benchmark(sweep, regulator_circuit, regulator_program,
+                        regulator_prior)
+
+    rows = [[size, cases, f"{loglik:.3f}"] for size, cases, loglik in results]
+    print()
+    print(format_table(["Failed devices", "Learning cases", "Held-out mean log-likelihood"],
+                       rows, title="Training-set-size sweep (paper used 70 devices)"))
+
+    logliks = [loglik for _, _, loglik in results]
+    # The designer prior alone must already explain the held-out evidence
+    # reasonably, and the 70-device model must not be worse than the
+    # 10-device model by more than a small tolerance.
+    assert all(np.isfinite(value) for value in logliks)
+    assert logliks[-1] >= logliks[1] - 0.5

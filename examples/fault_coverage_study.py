@@ -1,0 +1,92 @@
+"""Monte-Carlo fault-coverage study of block-level diagnosis.
+
+Goes beyond the paper's five hand-picked cases: injects every fault of the
+regulator's fault universe into simulated devices, diagnoses each failing
+device and reports, per faulted block, how often the true block lands in the
+deduced suspect list and in the top-3 ranking.  This is the kind of
+diagnosability sweep a test engineer would run before trusting the method on
+real customer returns — it also shows which blocks are inherently
+confusable from functional test data alone.
+
+Run with::
+
+    python examples/fault_coverage_study.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.ate import PopulationGenerator
+from repro.ate.programs import REGULATOR_CONDITION_SETS, build_functional_program
+from repro.circuits import BehavioralSimulator, build_voltage_regulator
+from repro.core import CaseGenerator, DiagnosisEngine, Dlog2BBN
+from repro.core.behavioral_prior import SimulationPriorBuilder
+from repro.utils.tables import format_table
+
+DEVICES_PER_BLOCK = 6
+
+
+def main() -> None:
+    circuit = build_voltage_regulator()
+    program = build_functional_program("vr_functional", circuit.model,
+                                       REGULATOR_CONDITION_SETS)
+    prior = SimulationPriorBuilder(
+        circuit.netlist, circuit.model,
+        [cs.conditions for cs in REGULATOR_CONDITION_SETS],
+        fault_probability=circuit.designer_fault_probabilities,
+        process_variation=circuit.process_variation,
+        samples=3000, seed=7).build()
+    builder = Dlog2BBN(circuit.model, circuit.healthy_states)
+    engine = DiagnosisEngine(builder.build(prior_network=prior))
+    case_generator = CaseGenerator(circuit.model)
+
+    simulator = BehavioralSimulator(circuit.netlist,
+                                    process_variation=circuit.process_variation,
+                                    seed=88)
+    generator = PopulationGenerator(simulator, program, circuit.fault_universe,
+                                    seed=89)
+
+    internal = set(circuit.model.internal_variables)
+    per_block = defaultdict(lambda: {"devices": 0, "suspect": 0, "top3": 0,
+                                     "masked": 0})
+    for fault in circuit.fault_universe.enumerate():
+        if fault.block not in internal:
+            continue
+        population = generator.generate_for_fault(fault, DEVICES_PER_BLOCK)
+        for result in population.results:
+            stats = per_block[fault.block]
+            stats["devices"] += 1
+            if not result.failed:
+                stats["masked"] += 1
+                continue
+            cases = case_generator.cases_from_device_result(result)
+            failing = [case for case in cases if case.failed]
+            diagnosis = engine.diagnose_evidence(failing[0].observed())
+            if fault.block in diagnosis.suspects:
+                stats["suspect"] += 1
+            if diagnosis.rank_of(fault.block) <= 3:
+                stats["top3"] += 1
+
+    rows = []
+    for block in sorted(per_block):
+        stats = per_block[block]
+        tested = stats["devices"] - stats["masked"]
+        rows.append([
+            block,
+            stats["devices"],
+            stats["masked"],
+            f"{stats['suspect'] / tested:.2f}" if tested else "-",
+            f"{stats['top3'] / tested:.2f}" if tested else "-",
+        ])
+    print(format_table(
+        ["Faulted block", "Devices", "Masked (pass all tests)",
+         "Suspect-list hit rate", "Top-3 hit rate"],
+        rows, title="Fault-coverage study over the internal blocks"))
+    print("\nBlocks with low hit rates are confusable from functional data "
+          "alone; the paper's step two (structural tests inside the suspect "
+          "block) is what separates them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: diagnose the paper's five voltage-regulator cases.
+
+Builds the industrial multiple-output voltage regulator, derives the designer
+prior from behavioural simulation, fine-tunes the CPTs on a synthetic
+70-failed-device population (the stand-in for the paper's customer returns)
+and diagnoses the five Table VI case studies.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.ate import PopulationGenerator
+from repro.ate.programs import REGULATOR_CONDITION_SETS, build_functional_program
+from repro.circuits import BehavioralSimulator, build_voltage_regulator
+from repro.core import DiagnosisEngine, Dlog2BBN
+from repro.core.behavioral_prior import SimulationPriorBuilder
+from repro.core.paper_cases import PAPER_DIAGNOSTIC_CASES, PAPER_EXPECTED_SUSPECTS
+from repro.core.report import case_summary_table
+
+
+def main() -> None:
+    # 1. The circuit: behavioural netlist + BBN circuit-model description.
+    circuit = build_voltage_regulator()
+    program = build_functional_program("vr_functional", circuit.model,
+                                       REGULATOR_CONDITION_SETS)
+
+    # 2. Designer prior: what the product designer's simulation says.
+    prior = SimulationPriorBuilder(
+        circuit.netlist, circuit.model,
+        [cs.conditions for cs in REGULATOR_CONDITION_SETS],
+        fault_probability=circuit.designer_fault_probabilities,
+        process_variation=circuit.process_variation,
+        samples=3000, seed=7).build()
+
+    # 3. Fine-tuning data: a no-stop-on-fail test of 70 failed devices.
+    simulator = BehavioralSimulator(circuit.netlist,
+                                    process_variation=circuit.process_variation,
+                                    seed=11)
+    generator = PopulationGenerator(simulator, program, circuit.fault_universe,
+                                    circuit.block_weights, seed=12)
+    population = generator.generate(failed_count=70)
+
+    # 4. Dlog2BBN: cases from the ATE data, CPTs fine-tuned against the prior.
+    builder = Dlog2BBN(circuit.model, circuit.healthy_states)
+    cases = builder.case_generator().cases_from_results(population.results)
+    built = builder.build(cases, method="bayes", prior_network=prior,
+                          equivalent_sample_size=200)
+    print(f"Built BBN circuit model from {built.training_case_count} learning cases "
+          f"({len(population)} failed devices).")
+
+    # 5. Diagnostic mode: the five Table VI case studies.
+    engine = DiagnosisEngine(built)
+    diagnoses = [engine.diagnose(case) for case in PAPER_DIAGNOSTIC_CASES]
+    print()
+    print(case_summary_table(PAPER_DIAGNOSTIC_CASES, diagnoses))
+    print()
+    for diagnosis in diagnoses:
+        expected = ", ".join(PAPER_EXPECTED_SUSPECTS[diagnosis.case_name])
+        print(f"{diagnosis.case_name}: deduced suspects = {diagnosis.suspects} "
+              f"(paper: {expected})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — Block-Level Bayesian Diagnosis of Analogue Electronic Circuits.
+
+A from-scratch reproduction of Krishnan, Doornbos, Brand and Kerkhoff,
+"Block-Level Bayesian Diagnosis of Analogue Electronic Circuits" (DATE 2010):
+a complete pipeline from analogue functional-test data to a ranked list of
+suspect functional blocks, built on four substrates that are all part of this
+package:
+
+* :mod:`repro.bayesnet` — discrete Bayesian-belief-network engine (factors,
+  CPDs, exact and approximate inference, parameter learning).
+* :mod:`repro.circuits` — behavioural block-level circuit simulation with
+  fault injection and process variation (including the paper's hypothetical
+  circuit and the industrial multiple-output voltage regulator).
+* :mod:`repro.ate` — ATE emulation: specification tests, no-stop-on-fail
+  test programs, datalogs and failed-device population generation.
+* :mod:`repro.core` — the paper's contribution: circuit-model description,
+  the Dlog2BBN model builder, case generation, the diagnosis engine with
+  automated candidate deduction, reports and metrics.
+* :mod:`repro.baselines` — fault-dictionary, nearest-neighbour and
+  naive-Bayes diagnosers used as comparison baselines.
+
+Quickstart
+----------
+
+>>> from repro.circuits import build_voltage_regulator
+>>> from repro.core import Dlog2BBN, DiagnosisEngine
+>>> from repro.core.paper_cases import PAPER_DIAGNOSTIC_CASES
+>>> circuit = build_voltage_regulator()
+>>> builder = Dlog2BBN(circuit.model, circuit.healthy_states)
+>>> built = builder.build()                      # designer prior only
+>>> engine = DiagnosisEngine(built)
+>>> diagnosis = engine.diagnose(PAPER_DIAGNOSTIC_CASES[1])   # case d2
+>>> diagnosis.suspects
+['enb13']
+"""
+
+from repro.core import (
+    BlockType,
+    CircuitModelDescription,
+    Diagnosis,
+    DiagnosisEngine,
+    DiagnosisMetrics,
+    DiagnosticCase,
+    DiagnosticReport,
+    Dlog2BBN,
+    ModelVariable,
+    StateDefinition,
+    StateTable,
+)
+from repro.bayesnet import BayesianNetwork, TabularCPD
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockType",
+    "CircuitModelDescription",
+    "Diagnosis",
+    "DiagnosisEngine",
+    "DiagnosisMetrics",
+    "DiagnosticCase",
+    "DiagnosticReport",
+    "Dlog2BBN",
+    "ModelVariable",
+    "StateDefinition",
+    "StateTable",
+    "BayesianNetwork",
+    "TabularCPD",
+    "__version__",
+]

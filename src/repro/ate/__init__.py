@@ -1,0 +1,38 @@
+"""Automatic-test-equipment (ATE) substrate.
+
+The paper's model builder consumes "no-stop on fail functional (specification)
+test data from a sufficiently large number of defective samples".  This
+subpackage emulates the production-test side of that flow:
+
+* :mod:`repro.ate.test_spec` — individual specification tests (force
+  conditions, measure one observable block, compare against limits).
+* :mod:`repro.ate.test_program` — an ordered, no-stop-on-fail collection of
+  specification tests.
+* :mod:`repro.ate.tester` — runs a test program against a simulated (and
+  possibly faulty) device, producing a device datalog.
+* :mod:`repro.ate.datalog` — ASCII datalog records, writer and parser
+  (the stand-in for the proprietary ATE log format Dlog2BBN reads).
+* :mod:`repro.ate.population` — generation of failed/passing device
+  populations (the stand-in for the 70 customer returns).
+"""
+
+from repro.ate.test_spec import SpecificationTest, TestLimit
+from repro.ate.test_program import TestProgram
+from repro.ate.tester import ATETester, DeviceResult, Measurement
+from repro.ate.datalog import DatalogRecord, DeviceDatalog, write_datalog, parse_datalog
+from repro.ate.population import DevicePopulation, PopulationGenerator
+
+__all__ = [
+    "SpecificationTest",
+    "TestLimit",
+    "TestProgram",
+    "ATETester",
+    "DeviceResult",
+    "Measurement",
+    "DatalogRecord",
+    "DeviceDatalog",
+    "write_datalog",
+    "parse_datalog",
+    "DevicePopulation",
+    "PopulationGenerator",
+]

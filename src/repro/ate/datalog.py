@@ -1,0 +1,201 @@
+"""ASCII ATE datalogs: records, writer and parser.
+
+Dlog2BBN, the paper's model builder, "converts ATE test files into cases".
+The proprietary log format is not public, so this module defines a simple
+ASCII datalog that carries the same information a production datalog does —
+device identity, test number/name, forced conditions, measured value, limits
+and the pass/fail verdict — and a parser that reads it back.  The case
+generator consumes parsed datalogs, never simulator objects, so the pipeline
+is the same whether the log came from the behavioural simulator or from a
+real tester (after format conversion).
+
+Format (one record per line, ``|``-separated key=value fields)::
+
+    DEVICE=VR-0001|TEST=110|NAME=reg1_nominal|BLOCK=reg1|VALUE=8.4987|LO=8.0|HI=9.0|UNITS=V|RESULT=P|COND=vp1:13.5;vp2:8.0
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+
+from repro.exceptions import DatalogError
+
+
+@dataclasses.dataclass(frozen=True)
+class DatalogRecord:
+    """One measurement record of one device.
+
+    Attributes
+    ----------
+    device_id:
+        Identifier of the device under test.
+    test_number / test_name:
+        The ATE test that produced the record.
+    block:
+        The observable model variable the test measures.
+    value:
+        The measured value.
+    lower / upper:
+        The specification limits applied.
+    passed:
+        The pass/fail verdict.
+    conditions:
+        The forced values of the controllable blocks during the test.
+    units:
+        Measurement units.
+    """
+
+    device_id: str
+    test_number: int
+    test_name: str
+    block: str
+    value: float
+    lower: float
+    upper: float
+    passed: bool
+    conditions: Mapping[str, float]
+    units: str = "V"
+
+    def to_line(self) -> str:
+        """Serialise the record to one datalog line."""
+        conditions = ";".join(f"{block}:{value:g}"
+                              for block, value in self.conditions.items())
+        return ("DEVICE={device}|TEST={number}|NAME={name}|BLOCK={block}|"
+                "VALUE={value:.6g}|LO={lower:g}|HI={upper:g}|UNITS={units}|"
+                "RESULT={result}|COND={conditions}").format(
+                    device=self.device_id, number=self.test_number,
+                    name=self.test_name, block=self.block, value=self.value,
+                    lower=self.lower, upper=self.upper, units=self.units,
+                    result="P" if self.passed else "F", conditions=conditions)
+
+    @classmethod
+    def from_line(cls, line: str) -> "DatalogRecord":
+        """Parse one datalog line."""
+        fields: dict[str, str] = {}
+        for part in line.strip().split("|"):
+            if not part:
+                continue
+            if "=" not in part:
+                raise DatalogError(f"malformed datalog field {part!r} in line {line!r}")
+            key, _, value = part.partition("=")
+            fields[key] = value
+        required = ["DEVICE", "TEST", "NAME", "BLOCK", "VALUE", "LO", "HI", "RESULT"]
+        missing = [key for key in required if key not in fields]
+        if missing:
+            raise DatalogError(f"datalog line is missing fields {missing}: {line!r}")
+        conditions: dict[str, float] = {}
+        condition_text = fields.get("COND", "")
+        if condition_text:
+            for piece in condition_text.split(";"):
+                if not piece:
+                    continue
+                block, _, value = piece.partition(":")
+                if not block or not value:
+                    raise DatalogError(
+                        f"malformed condition {piece!r} in line {line!r}")
+                conditions[block] = float(value)
+        try:
+            return cls(device_id=fields["DEVICE"],
+                       test_number=int(fields["TEST"]),
+                       test_name=fields["NAME"],
+                       block=fields["BLOCK"],
+                       value=float(fields["VALUE"]),
+                       lower=float(fields["LO"]),
+                       upper=float(fields["HI"]),
+                       passed=fields["RESULT"].upper() == "P",
+                       conditions=conditions,
+                       units=fields.get("UNITS", "V"))
+        except ValueError as exc:
+            raise DatalogError(f"cannot parse numeric field in line {line!r}") from exc
+
+
+@dataclasses.dataclass
+class DeviceDatalog:
+    """The complete no-stop-on-fail datalog of one device.
+
+    Attributes
+    ----------
+    device_id:
+        Identifier of the device.
+    records:
+        One record per executed specification test, in execution order.
+    metadata:
+        Free-form annotations (e.g. the injected fault for simulated devices,
+        kept out of the learning path and used only for scoring).
+    """
+
+    device_id: str
+    records: list[DatalogRecord] = dataclasses.field(default_factory=list)
+    metadata: dict[str, str] = dataclasses.field(default_factory=dict)
+
+    def add(self, record: DatalogRecord) -> None:
+        """Append a record, enforcing that it belongs to this device."""
+        if record.device_id != self.device_id:
+            raise DatalogError(
+                f"record for device {record.device_id!r} added to datalog of "
+                f"{self.device_id!r}")
+        self.records.append(record)
+
+    @property
+    def failed(self) -> bool:
+        """``True`` when at least one specification test failed."""
+        return any(not record.passed for record in self.records)
+
+    def failing_tests(self) -> list[DatalogRecord]:
+        """Return the records of the failing tests."""
+        return [record for record in self.records if not record.passed]
+
+    def measurements_for(self, block: str) -> list[DatalogRecord]:
+        """Return every record measuring ``block``."""
+        return [record for record in self.records if record.block == block]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def write_datalog(datalogs: Iterable[DeviceDatalog], path: str | Path) -> Path:
+    """Write device datalogs to ``path`` in the ASCII format.
+
+    Device metadata is written as comment lines (``# DEVICE key=value``) so
+    that the ground-truth fault of simulated devices survives the round trip
+    without contaminating the measurement records.
+    """
+    path = Path(path)
+    lines: list[str] = []
+    for datalog in datalogs:
+        for key, value in datalog.metadata.items():
+            lines.append(f"# DEVICE {datalog.device_id} {key}={value}")
+        for record in datalog.records:
+            lines.append(record.to_line())
+    path.write_text("\n".join(lines) + "\n", encoding="ascii")
+    return path
+
+
+def parse_datalog(path: str | Path) -> list[DeviceDatalog]:
+    """Parse an ASCII datalog file back into per-device datalogs."""
+    path = Path(path)
+    if not path.exists():
+        raise DatalogError(f"datalog file {path} does not exist")
+    datalogs: dict[str, DeviceDatalog] = {}
+    for line_number, line in enumerate(path.read_text(encoding="ascii").splitlines(), 1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            parts = stripped.split(maxsplit=4)
+            # "# DEVICE <id> key=value"
+            if len(parts) >= 4 and parts[1] == "DEVICE" and "=" in parts[3]:
+                device_id = parts[2]
+                key, _, value = " ".join(parts[3:]).partition("=")
+                datalogs.setdefault(device_id, DeviceDatalog(device_id))
+                datalogs[device_id].metadata[key.strip()] = value.strip()
+            continue
+        try:
+            record = DatalogRecord.from_line(stripped)
+        except DatalogError as exc:
+            raise DatalogError(f"{path}:{line_number}: {exc}") from exc
+        datalogs.setdefault(record.device_id, DeviceDatalog(record.device_id))
+        datalogs[record.device_id].add(record)
+    return list(datalogs.values())

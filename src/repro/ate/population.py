@@ -1,0 +1,167 @@
+"""Failed/passing device population generation.
+
+The paper fine-tuned the regulator's CPTs with cases generated from 70 failed
+products returned from the field.  Customer returns and their proprietary ATE
+logs are not available, so :class:`PopulationGenerator` produces the closest
+synthetic equivalent: a population of simulated devices, each with a randomly
+sampled block-level fault (the failed devices) or no fault (the passing
+devices), tested with the no-stop-on-fail functional program.  The injected
+fault of every device is kept as ground truth for scoring diagnoses, but it
+never enters the learning path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.ate.datalog import DeviceDatalog
+from repro.ate.test_program import TestProgram
+from repro.ate.tester import ATETester, DeviceResult
+from repro.circuits.behavioral import BehavioralSimulator
+from repro.circuits.faults import BlockFault, FaultUniverse
+from repro.exceptions import ATEError
+from repro.utils.rng import ensure_rng
+
+
+@dataclasses.dataclass
+class DevicePopulation:
+    """A generated device population.
+
+    Attributes
+    ----------
+    results:
+        Per-device ATE results, in generation order.
+    ground_truth:
+        Injected fault per device id (absent for defect-free devices).
+    """
+
+    results: list[DeviceResult]
+    ground_truth: dict[str, BlockFault]
+
+    @property
+    def device_ids(self) -> list[str]:
+        """All device identifiers."""
+        return [result.device_id for result in self.results]
+
+    @property
+    def failing_results(self) -> list[DeviceResult]:
+        """Results of devices that failed at least one specification test."""
+        return [result for result in self.results if result.failed]
+
+    @property
+    def passing_results(self) -> list[DeviceResult]:
+        """Results of devices that passed every specification test."""
+        return [result for result in self.results if not result.failed]
+
+    def to_datalogs(self) -> list[DeviceDatalog]:
+        """Convert every device result into an ASCII-serialisable datalog."""
+        return [result.to_datalog() for result in self.results]
+
+    def result_for(self, device_id: str) -> DeviceResult:
+        """Return the result of one device."""
+        for result in self.results:
+            if result.device_id == device_id:
+                return result
+        raise ATEError(f"no device {device_id!r} in the population")
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class PopulationGenerator:
+    """Generates fault-injected device populations.
+
+    Parameters
+    ----------
+    simulator:
+        Behavioural simulator of the circuit (with process variation).
+    program:
+        The no-stop-on-fail functional test program.
+    fault_universe:
+        The faults that may be injected into failed devices.
+    block_weights:
+        Optional relative defect likelihood per block.
+    device_prefix:
+        Prefix of generated device identifiers.
+    seed:
+        Seed or generator for reproducible populations.
+    """
+
+    def __init__(self, simulator: BehavioralSimulator, program: TestProgram,
+                 fault_universe: FaultUniverse,
+                 block_weights: Mapping[str, float] | None = None,
+                 device_prefix: str = "DEV",
+                 seed: int | np.random.Generator | None = None) -> None:
+        self.simulator = simulator
+        self.program = program
+        self.fault_universe = fault_universe
+        self.block_weights = dict(block_weights or {})
+        self.device_prefix = device_prefix
+        self._rng = ensure_rng(seed)
+        self._tester = ATETester(simulator, program, stop_on_fail=False)
+        self._counter = 0
+
+    def _next_device_id(self) -> str:
+        self._counter += 1
+        return f"{self.device_prefix}-{self._counter:05d}"
+
+    # ------------------------------------------------------------- generation
+    def generate_failed_device(self, fault: BlockFault | None = None) -> DeviceResult:
+        """Test one device with an injected fault (sampled when not given)."""
+        if fault is None:
+            fault = self.fault_universe.sample(self._rng, self.block_weights)
+        device_id = self._next_device_id()
+        return self._tester.test_device(device_id, faults={fault.block: fault})
+
+    def generate_passing_device(self) -> DeviceResult:
+        """Test one defect-free device (process variation and noise only)."""
+        device_id = self._next_device_id()
+        return self._tester.test_device(device_id, faults={})
+
+    def generate(self, failed_count: int, passing_count: int = 0,
+                 require_observable_failure: bool = True,
+                 max_attempts_per_device: int = 20) -> DevicePopulation:
+        """Generate a population of ``failed_count`` + ``passing_count`` devices.
+
+        Parameters
+        ----------
+        failed_count / passing_count:
+            Number of fault-injected and defect-free devices.
+        require_observable_failure:
+            When ``True`` (default), fault-injected devices that happen to
+            pass every specification test (fault masked by the test
+            conditions) are re-drawn, mirroring the paper's setting in which
+            every customer return is an observably failing product.
+        max_attempts_per_device:
+            Upper bound on re-draws before accepting a masked fault.
+        """
+        if failed_count < 0 or passing_count < 0:
+            raise ATEError("device counts must be non-negative")
+        results: list[DeviceResult] = []
+        ground_truth: dict[str, BlockFault] = {}
+        for _ in range(failed_count):
+            result = self.generate_failed_device()
+            attempts = 1
+            while (require_observable_failure and not result.failed
+                   and attempts < max_attempts_per_device):
+                result = self.generate_failed_device()
+                attempts += 1
+            results.append(result)
+            fault = next(iter(result.faults.values()))
+            ground_truth[result.device_id] = fault
+        for _ in range(passing_count):
+            results.append(self.generate_passing_device())
+        return DevicePopulation(results=results, ground_truth=ground_truth)
+
+    def generate_for_fault(self, fault: BlockFault, count: int) -> DevicePopulation:
+        """Generate ``count`` devices that all carry the same fault.
+
+        Used by the fault-dictionary baseline, whose signatures are built per
+        fault rather than per random population.
+        """
+        results = [self.generate_failed_device(fault) for _ in range(count)]
+        ground_truth = {result.device_id: fault for result in results}
+        return DevicePopulation(results=results, ground_truth=ground_truth)

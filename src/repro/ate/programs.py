@@ -1,0 +1,150 @@
+"""Construction of functional test programs from circuit-model descriptions.
+
+The full-circuit production test of the paper evaluates every specification
+"more or less hierarchically", measuring each observable block under several
+test conditions.  :func:`build_functional_program` turns a list of named
+condition sets (forced controllable levels plus the expected state of every
+observable) into a no-stop-on-fail :class:`~repro.ate.test_program.TestProgram`
+whose limits are the expected state's voltage window.
+
+:data:`REGULATOR_CONDITION_SETS` defines the condition sets used for the
+voltage regulator throughout the examples and benchmarks: the nominal
+operating point plus the supply and enable corners that the paper's
+diagnostic cases d1–d5 exercise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping, Sequence
+
+from repro.ate.test_program import TestProgram
+from repro.ate.test_spec import SpecificationTest, TestLimit
+from repro.core.circuit_model import CircuitModelDescription
+from repro.exceptions import ATEError
+
+
+@dataclasses.dataclass(frozen=True)
+class ConditionSet:
+    """One named test condition: forced levels plus expected observable states.
+
+    Attributes
+    ----------
+    label:
+        Condition-set name (becomes part of the test names).
+    conditions:
+        Forced voltage per controllable model variable.
+    expected_states:
+        Expected state label per observable model variable; the state's
+        voltage window becomes the specification limit of the test.
+    """
+
+    label: str
+    conditions: Mapping[str, float]
+    expected_states: Mapping[str, str]
+
+
+def build_functional_program(name: str, model: CircuitModelDescription,
+                             condition_sets: Sequence[ConditionSet],
+                             start_number: int = 100,
+                             number_step: int = 10) -> TestProgram:
+    """Build a no-stop-on-fail functional test program.
+
+    One specification test is generated per (condition set, observable)
+    pair; test numbers are assigned in steps of ``number_step`` starting at
+    ``start_number`` (mirroring how production programs leave gaps for later
+    insertions).
+    """
+    if not condition_sets:
+        raise ATEError("at least one condition set is required")
+    program = TestProgram(name)
+    number = start_number
+    for condition_set in condition_sets:
+        for variable in condition_set.conditions:
+            if variable not in model.controllable_variables:
+                raise ATEError(
+                    f"condition set {condition_set.label!r} forces "
+                    f"{variable!r}, which is not a controllable model variable")
+        for observable, expected_state in condition_set.expected_states.items():
+            if observable not in model.observable_variables:
+                raise ATEError(
+                    f"condition set {condition_set.label!r} expects a state for "
+                    f"{observable!r}, which is not an observable model variable")
+            table = model.state_table(observable)
+            state = table.state(str(expected_state))
+            low, high = sorted((state.lower, state.upper))
+            program.add_test(SpecificationTest(
+                number=number,
+                name=f"{observable}_{condition_set.label}",
+                measured_block=observable,
+                conditions=dict(condition_set.conditions),
+                limit=TestLimit(low, high),
+                description=(f"{observable} expected in state {state.label} "
+                             f"({state.remark}) under {condition_set.label}")))
+            number += number_step
+    return program
+
+
+#: Condition sets of the voltage-regulator functional test.  The forced
+#: voltages are representative mid-window levels of the controllable states
+#: used by the paper's diagnostic cases (Table VI): nominal battery, the
+#: intermediate-supply corner of case d3, the "enables driven high" corner of
+#: case d4 and an all-enables-low corner that exercises the shutdown path.
+REGULATOR_CONDITION_SETS: list[ConditionSet] = [
+    ConditionSet(
+        label="nominal",
+        conditions={"vp1": 13.5, "vp1x": 13.5, "vp2": 8.0,
+                    "enb13_pin": 2.2, "enb4_pin": 2.2, "enbsw_pin": 2.2},
+        expected_states={"sw": "1", "reg1": "1", "reg2": "1",
+                         "reg3": "1", "reg4": "1"},
+    ),
+    ConditionSet(
+        label="high_enable",
+        conditions={"vp1": 13.5, "vp1x": 13.5, "vp2": 8.0,
+                    "enb13_pin": 5.0, "enb4_pin": 5.0, "enbsw_pin": 5.0},
+        expected_states={"sw": "1", "reg1": "1", "reg2": "1",
+                         "reg3": "1", "reg4": "1"},
+    ),
+    ConditionSet(
+        label="intermediate_supply",
+        conditions={"vp1": 6.0, "vp1x": 7.0, "vp2": 5.9,
+                    "enb13_pin": 2.2, "enb4_pin": 2.2, "enbsw_pin": 2.2},
+        expected_states={"sw": "0", "reg1": "0", "reg2": "1",
+                         "reg3": "0", "reg4": "0"},
+    ),
+    ConditionSet(
+        label="loaddump",
+        conditions={"vp1": 20.0, "vp1x": 20.0, "vp2": 8.0,
+                    "enb13_pin": 2.2, "enb4_pin": 2.2, "enbsw_pin": 2.2},
+        expected_states={"sw": "2", "reg1": "1", "reg2": "1",
+                         "reg3": "1", "reg4": "1"},
+    ),
+    ConditionSet(
+        label="enables_low",
+        conditions={"vp1": 13.5, "vp1x": 13.5, "vp2": 8.0,
+                    "enb13_pin": 0.0, "enb4_pin": 0.0, "enbsw_pin": 0.0},
+        expected_states={"sw": "0", "reg1": "0", "reg2": "1",
+                         "reg3": "0", "reg4": "0"},
+    ),
+]
+
+
+#: Condition sets of the hypothetical-circuit functional test (Fig. 1):
+#: drive Block-1 at its two operational levels and once below threshold.
+HYPOTHETICAL_CONDITION_SETS: list[ConditionSet] = [
+    ConditionSet(
+        label="drive_high",
+        conditions={"block1": 3.0},
+        expected_states={"block2": "1", "block4": "1"},
+    ),
+    ConditionSet(
+        label="drive_low",
+        conditions={"block1": 1.5},
+        expected_states={"block2": "1", "block4": "1"},
+    ),
+    ConditionSet(
+        label="drive_off",
+        conditions={"block1": 0.2},
+        expected_states={"block2": "0", "block4": "0"},
+    ),
+]

@@ -1,0 +1,149 @@
+"""The ATE tester: executes a test program against a simulated device.
+
+The tester is deliberately ignorant of faults and process variation — it is
+handed a configured :class:`~repro.circuits.behavioral.BehavioralSimulator`
+plus the per-device fault/variation context and simply walks the test
+program, forcing conditions and recording measurements, exactly like a
+production tester walking a device under test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+from repro.ate.datalog import DatalogRecord, DeviceDatalog
+from repro.ate.test_program import TestProgram
+from repro.circuits.behavioral import BehavioralSimulator
+from repro.circuits.faults import BlockFault
+from repro.exceptions import ATEError
+
+
+@dataclasses.dataclass(frozen=True)
+class Measurement:
+    """One executed specification test and its outcome.
+
+    Attributes
+    ----------
+    test_number / test_name:
+        Identity of the specification test.
+    block:
+        The observable model variable that was measured.
+    value:
+        The measured value.
+    lower / upper:
+        The specification limits applied during the test.
+    passed:
+        Pass/fail verdict.
+    conditions:
+        Forced values of the controllable blocks during the test.
+    """
+
+    test_number: int
+    test_name: str
+    block: str
+    value: float
+    lower: float
+    upper: float
+    passed: bool
+    conditions: Mapping[str, float]
+
+
+@dataclasses.dataclass
+class DeviceResult:
+    """The outcome of running the full program on one device.
+
+    Attributes
+    ----------
+    device_id:
+        Identifier of the device.
+    measurements:
+        One measurement per executed specification test, in program order.
+    faults:
+        The injected faults (empty for a defect-free device).
+    """
+
+    device_id: str
+    measurements: list[Measurement]
+    faults: dict[str, BlockFault]
+
+    @property
+    def failed(self) -> bool:
+        """``True`` when any specification test failed."""
+        return any(not measurement.passed for measurement in self.measurements)
+
+    def failing_measurements(self) -> list[Measurement]:
+        """Return only the failing measurements."""
+        return [m for m in self.measurements if not m.passed]
+
+    def to_datalog(self) -> DeviceDatalog:
+        """Convert the result into an ASCII-serialisable device datalog."""
+        datalog = DeviceDatalog(self.device_id)
+        if self.faults:
+            datalog.metadata["injected_faults"] = ",".join(
+                fault.label for fault in self.faults.values())
+        for measurement in self.measurements:
+            datalog.add(DatalogRecord(
+                device_id=self.device_id,
+                test_number=measurement.test_number,
+                test_name=measurement.test_name,
+                block=measurement.block,
+                value=measurement.value,
+                lower=measurement.lower,
+                upper=measurement.upper,
+                passed=measurement.passed,
+                conditions=measurement.conditions,
+            ))
+        return datalog
+
+
+class ATETester:
+    """Runs a :class:`TestProgram` on simulated devices.
+
+    Parameters
+    ----------
+    simulator:
+        The behavioural simulator of the device under test.
+    program:
+        The functional test program to execute.
+    stop_on_fail:
+        Production wafer sort often aborts at the first failure; the paper's
+        diagnosis flow requires *no-stop-on-fail* data, which is the default.
+    """
+
+    def __init__(self, simulator: BehavioralSimulator, program: TestProgram,
+                 stop_on_fail: bool = False) -> None:
+        if len(program) == 0:
+            raise ATEError(f"test program {program.name!r} has no tests")
+        for test in program:
+            if test.measured_block not in simulator.netlist:
+                raise ATEError(
+                    f"test {test.name!r} measures unknown block "
+                    f"{test.measured_block!r}")
+        self.simulator = simulator
+        self.program = program
+        self.stop_on_fail = bool(stop_on_fail)
+
+    def test_device(self, device_id: str,
+                    faults: Mapping[str, BlockFault] | None = None,
+                    device_multipliers: Mapping[str, float] | None = None
+                    ) -> DeviceResult:
+        """Execute the whole program on one (possibly faulty) device."""
+        faults = dict(faults or {})
+        multipliers = device_multipliers
+        if multipliers is None:
+            multipliers = self.simulator.sample_device()
+        measurements: list[Measurement] = []
+        for test in self.program:
+            simulation = self.simulator.run(test.conditions, faults, multipliers)
+            value = simulation.voltage(test.measured_block)
+            passed = test.evaluate(value)
+            measurements.append(Measurement(
+                test_number=test.number, test_name=test.name,
+                block=test.measured_block, value=value,
+                lower=test.limit.lower, upper=test.limit.upper,
+                passed=passed, conditions=dict(test.conditions)))
+            if self.stop_on_fail and not passed:
+                break
+        return DeviceResult(device_id=device_id, measurements=measurements,
+                            faults=faults)

@@ -1,0 +1,26 @@
+"""Baseline diagnosers used for comparison benchmarks.
+
+The paper cites several alternative analogue-diagnosis approaches (fault
+dictionaries, functional-mapping and neural/Bayesian parametric methods) as
+related work without comparing against them numerically.  To give the
+benchmark harness a meaningful comparison axis, three classical baselines are
+implemented on exactly the same inputs the BBN diagnoser consumes (per-test
+pass/fail signatures or discretised block states):
+
+* :class:`FaultDictionaryDiagnoser` — the classical pass/fail signature
+  dictionary built from simulated faulty devices.
+* :class:`NearestNeighborDiagnoser` — nearest neighbour in the discretised
+  state space.
+* :class:`NaiveBayesDiagnoser` — a flat naive-Bayes classifier over the
+  observable states (a structure-free ablation of the BBN).
+"""
+
+from repro.baselines.fault_dictionary import FaultDictionaryDiagnoser
+from repro.baselines.nearest_neighbor import NearestNeighborDiagnoser
+from repro.baselines.naive_bayes import NaiveBayesDiagnoser
+
+__all__ = [
+    "FaultDictionaryDiagnoser",
+    "NearestNeighborDiagnoser",
+    "NaiveBayesDiagnoser",
+]

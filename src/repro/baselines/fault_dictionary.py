@@ -1,0 +1,115 @@
+"""Fault-dictionary diagnosis baseline.
+
+The oldest analogue diagnosis approach: simulate every fault in the fault
+universe, record the pass/fail signature of the test program, and diagnose a
+failing device by looking up the closest stored signature.  It needs the same
+simulated training data the BBN gets, but no probabilistic model — which is
+exactly the comparison the benchmarks draw.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.ate.tester import DeviceResult
+from repro.exceptions import DiagnosisError
+
+
+@dataclasses.dataclass
+class _Signature:
+    """A stored fault signature: the fraction of failing runs per test."""
+
+    block: str
+    fail_rates: dict[int, float]
+
+
+class FaultDictionaryDiagnoser:
+    """Pass/fail signature dictionary over the block-level fault universe.
+
+    Parameters
+    ----------
+    tie_break_order:
+        Optional block ordering used to break exact distance ties
+        deterministically.
+    """
+
+    def __init__(self, tie_break_order: Sequence[str] | None = None) -> None:
+        self._signatures: list[_Signature] = []
+        self._test_numbers: list[int] = []
+        self._tie_break = {block: index
+                           for index, block in enumerate(tie_break_order or [])}
+
+    # ---------------------------------------------------------------- training
+    def fit(self, results: Sequence[DeviceResult],
+            true_blocks: Mapping[str, str]) -> "FaultDictionaryDiagnoser":
+        """Build the dictionary from simulated faulty devices.
+
+        Parameters
+        ----------
+        results:
+            ATE results of fault-injected devices.
+        true_blocks:
+            Ground-truth faulty block per device id.
+        """
+        if not results:
+            raise DiagnosisError("cannot build a fault dictionary from no devices")
+        per_block: dict[str, list[DeviceResult]] = {}
+        test_numbers: set[int] = set()
+        for result in results:
+            if result.device_id not in true_blocks:
+                raise DiagnosisError(
+                    f"no ground-truth block for device {result.device_id!r}")
+            per_block.setdefault(true_blocks[result.device_id], []).append(result)
+            test_numbers.update(m.test_number for m in result.measurements)
+        self._test_numbers = sorted(test_numbers)
+        self._signatures = []
+        for block, block_results in per_block.items():
+            fail_rates: dict[int, float] = {}
+            for number in self._test_numbers:
+                outcomes = []
+                for result in block_results:
+                    for measurement in result.measurements:
+                        if measurement.test_number == number:
+                            outcomes.append(0.0 if measurement.passed else 1.0)
+                fail_rates[number] = float(np.mean(outcomes)) if outcomes else 0.0
+            self._signatures.append(_Signature(block=block, fail_rates=fail_rates))
+        return self
+
+    # --------------------------------------------------------------- diagnosis
+    def _device_signature(self, result: DeviceResult) -> dict[int, float]:
+        signature: dict[int, float] = {}
+        for measurement in result.measurements:
+            signature[measurement.test_number] = 0.0 if measurement.passed else 1.0
+        return signature
+
+    def rank(self, result: DeviceResult) -> list[tuple[str, float]]:
+        """Return candidate blocks ranked by signature distance (closest first)."""
+        if not self._signatures:
+            raise DiagnosisError("fault dictionary has not been fitted")
+        observed = self._device_signature(result)
+        scored: list[tuple[str, float]] = []
+        for signature in self._signatures:
+            distances = []
+            for number in self._test_numbers:
+                if number in observed:
+                    distances.append(abs(observed[number] - signature.fail_rates[number]))
+            distance = float(np.mean(distances)) if distances else 1.0
+            scored.append((signature.block, distance))
+        scored.sort(key=lambda item: (item[1], self._tie_break.get(item[0], 0),
+                                      item[0]))
+        return scored
+
+    def diagnose(self, result: DeviceResult) -> str:
+        """Return the single closest-signature block."""
+        return self.rank(result)[0][0]
+
+    def rank_of(self, result: DeviceResult, true_block: str) -> int:
+        """Return the 1-based rank of ``true_block`` for ``result``."""
+        ranking = self.rank(result)
+        for rank, (block, _) in enumerate(ranking, start=1):
+            if block == true_block:
+                return rank
+        return len(ranking) + 1

@@ -1,0 +1,105 @@
+"""Naive-Bayes diagnosis baseline (structure-free ablation of the BBN).
+
+Treats the faulty block as a single class variable and every discretised
+controllable/observable state as a conditionally independent feature:
+``P(block | evidence) ∝ P(block) * Π P(state_v | block)``.  Compared with the
+BBN circuit model this throws away the designer's dependency structure, which
+is exactly the ablation the benchmark harness wants to quantify.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from collections.abc import Mapping, Sequence
+
+from repro.core.case_generation import LabeledCase
+from repro.exceptions import DiagnosisError
+
+
+class NaiveBayesDiagnoser:
+    """Laplace-smoothed naive-Bayes classifier over discretised cases.
+
+    Parameters
+    ----------
+    alpha:
+        Laplace smoothing pseudo-count.
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise DiagnosisError("alpha must be positive")
+        self.alpha = float(alpha)
+        self._class_counts: dict[str, int] = {}
+        self._feature_counts: dict[str, dict[tuple[str, str], int]] = {}
+        self._feature_values: dict[str, set[str]] = defaultdict(set)
+        self._total = 0
+
+    # ---------------------------------------------------------------- training
+    def fit(self, cases: Sequence[LabeledCase],
+            true_blocks: Mapping[str, str]) -> "NaiveBayesDiagnoser":
+        """Count class and (class, feature) occurrences over the training cases."""
+        self._class_counts = defaultdict(int)
+        self._feature_counts = defaultdict(lambda: defaultdict(int))
+        self._feature_values = defaultdict(set)
+        self._total = 0
+        for case in cases:
+            if case.device_id not in true_blocks:
+                continue
+            block = true_blocks[case.device_id]
+            self._class_counts[block] += 1
+            self._total += 1
+            for variable, state in case.observed().items():
+                self._feature_counts[block][(variable, state)] += 1
+                self._feature_values[variable].add(state)
+        if self._total == 0:
+            raise DiagnosisError("no training cases with ground truth were provided")
+        self._class_counts = dict(self._class_counts)
+        self._feature_counts = {block: dict(counts)
+                                for block, counts in self._feature_counts.items()}
+        return self
+
+    # --------------------------------------------------------------- diagnosis
+    def log_posterior(self, block: str, evidence: Mapping[str, str]) -> float:
+        """Return the unnormalised log posterior of ``block`` given ``evidence``."""
+        if block not in self._class_counts:
+            raise DiagnosisError(f"block {block!r} was never seen during training")
+        class_count = self._class_counts[block]
+        classes = len(self._class_counts)
+        log_probability = math.log(
+            (class_count + self.alpha) / (self._total + self.alpha * classes))
+        counts = self._feature_counts.get(block, {})
+        for variable, state in evidence.items():
+            values = self._feature_values.get(variable)
+            if not values:
+                continue
+            count = counts.get((variable, str(state)), 0)
+            log_probability += math.log(
+                (count + self.alpha) / (class_count + self.alpha * len(values)))
+        return log_probability
+
+    def rank(self, evidence: Mapping[str, str]) -> list[tuple[str, float]]:
+        """Return blocks ranked by posterior probability (highest first)."""
+        if not self._class_counts:
+            raise DiagnosisError("naive-Bayes diagnoser has not been fitted")
+        evidence = {variable: str(state) for variable, state in evidence.items()}
+        log_posteriors = {block: self.log_posterior(block, evidence)
+                          for block in self._class_counts}
+        maximum = max(log_posteriors.values())
+        unnormalised = {block: math.exp(value - maximum)
+                        for block, value in log_posteriors.items()}
+        total = sum(unnormalised.values())
+        return sorted(((block, value / total) for block, value in unnormalised.items()),
+                      key=lambda item: item[1], reverse=True)
+
+    def diagnose(self, evidence: Mapping[str, str]) -> str:
+        """Return the maximum-posterior block."""
+        return self.rank(evidence)[0][0]
+
+    def rank_of(self, evidence: Mapping[str, str], true_block: str) -> int:
+        """Return the 1-based rank of ``true_block`` for ``evidence``."""
+        ranking = self.rank(evidence)
+        for rank, (block, _) in enumerate(ranking, start=1):
+            if block == true_block:
+                return rank
+        return len(ranking) + 1

@@ -1,0 +1,82 @@
+"""Nearest-neighbour diagnosis baseline in the discretised state space.
+
+Diagnoses a failing device by finding the most similar training device
+(Hamming similarity over the discretised controllable/observable states) and
+returning its ground-truth faulty block.  A simple, surprisingly strong
+baseline when the training population densely covers the fault universe.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Mapping, Sequence
+
+from repro.core.case_generation import LabeledCase
+from repro.exceptions import DiagnosisError
+
+
+class NearestNeighborDiagnoser:
+    """k-nearest-neighbour diagnosis over discretised cases.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours whose ground-truth blocks vote on the diagnosis.
+    """
+
+    def __init__(self, k: int = 3) -> None:
+        if k < 1:
+            raise DiagnosisError("k must be at least 1")
+        self.k = int(k)
+        self._training: list[tuple[dict[str, str], str]] = []
+
+    # ---------------------------------------------------------------- training
+    def fit(self, cases: Sequence[LabeledCase],
+            true_blocks: Mapping[str, str]) -> "NearestNeighborDiagnoser":
+        """Store the observed part of every training case with its true block."""
+        self._training = []
+        for case in cases:
+            if case.device_id not in true_blocks:
+                continue
+            self._training.append((case.observed(), true_blocks[case.device_id]))
+        if not self._training:
+            raise DiagnosisError("no training cases with ground truth were provided")
+        return self
+
+    # --------------------------------------------------------------- diagnosis
+    @staticmethod
+    def _similarity(first: Mapping[str, str], second: Mapping[str, str]) -> float:
+        shared = set(first) & set(second)
+        if not shared:
+            return 0.0
+        agreements = sum(1 for variable in shared if first[variable] == second[variable])
+        return agreements / len(shared)
+
+    def rank(self, evidence: Mapping[str, str]) -> list[tuple[str, float]]:
+        """Return blocks ranked by the vote share of the k nearest neighbours."""
+        if not self._training:
+            raise DiagnosisError("nearest-neighbour diagnoser has not been fitted")
+        evidence = {variable: str(state) for variable, state in evidence.items()}
+        scored = sorted(self._training,
+                        key=lambda item: self._similarity(evidence, item[0]),
+                        reverse=True)
+        votes = Counter(block for _, block in scored[:self.k])
+        total = sum(votes.values())
+        ranking = [(block, count / total) for block, count in votes.most_common()]
+        # Blocks never seen among the neighbours get rank after all voted ones.
+        seen = {block for block, _ in ranking}
+        remaining = sorted({block for _, block in self._training} - seen)
+        ranking.extend((block, 0.0) for block in remaining)
+        return ranking
+
+    def diagnose(self, evidence: Mapping[str, str]) -> str:
+        """Return the block with the most neighbour votes."""
+        return self.rank(evidence)[0][0]
+
+    def rank_of(self, evidence: Mapping[str, str], true_block: str) -> int:
+        """Return the 1-based rank of ``true_block`` for ``evidence``."""
+        ranking = self.rank(evidence)
+        for rank, (block, _) in enumerate(ranking, start=1):
+            if block == true_block:
+                return rank
+        return len(ranking) + 1

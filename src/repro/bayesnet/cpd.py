@@ -1,0 +1,187 @@
+"""Tabular conditional probability distributions.
+
+The parameter model of the paper (Section III-A.2, Tables III/IV) is a set of
+conditional probability tables: for each model variable (child) the
+probability of every usable state given each joint state of its parent model
+variables.  :class:`TabularCPD` stores such a table, validates it, and can be
+converted to a :class:`~repro.bayesnet.factor.DiscreteFactor` for inference.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.bayesnet.factor import DiscreteFactor
+from repro.exceptions import CPDError
+
+
+class TabularCPD:
+    """Conditional probability table ``P(variable | parents)``.
+
+    Parameters
+    ----------
+    variable:
+        Name of the child variable.
+    cardinality:
+        Number of states of the child variable.
+    table:
+        Array of shape ``(cardinality, prod(parent_cardinalities))``.  Each
+        column is the distribution of the child for one joint parent
+        configuration; columns must therefore sum to one.  Parent
+        configurations are enumerated with the *last* parent varying fastest
+        (C order over ``parent_cardinalities``).
+    parents:
+        Parent variable names (empty for root nodes).
+    parent_cardinalities:
+        Cardinalities of the parents, aligned with ``parents``.
+    state_names:
+        Optional ``{variable: [state, ...]}`` for the child and parents.
+    """
+
+    def __init__(self, variable: str, cardinality: int,
+                 table: Sequence | np.ndarray,
+                 parents: Sequence[str] = (),
+                 parent_cardinalities: Sequence[int] = (),
+                 state_names: Mapping[str, Sequence[str]] | None = None) -> None:
+        parents = list(parents)
+        parent_cardinalities = [int(c) for c in parent_cardinalities]
+        if len(parents) != len(parent_cardinalities):
+            raise CPDError("parents and parent_cardinalities must have equal length")
+        if variable in parents:
+            raise CPDError(f"variable {variable!r} cannot be its own parent")
+        cardinality = int(cardinality)
+        if cardinality < 1:
+            raise CPDError(f"variable {variable!r} needs at least one state")
+
+        array = np.asarray(table, dtype=float)
+        expected_cols = int(np.prod(parent_cardinalities)) if parents else 1
+        if array.ndim == 1:
+            array = array.reshape(cardinality, 1)
+        if array.shape != (cardinality, expected_cols):
+            raise CPDError(
+                f"CPD table for {variable!r} has shape {array.shape}, "
+                f"expected {(cardinality, expected_cols)}")
+        if np.any(array < 0):
+            raise CPDError(f"CPD for {variable!r} contains negative probabilities")
+        column_sums = array.sum(axis=0)
+        if not np.allclose(column_sums, 1.0, atol=1e-6):
+            raise CPDError(
+                f"CPD columns for {variable!r} must each sum to 1.0, "
+                f"got sums {column_sums}")
+
+        self.variable = variable
+        self.cardinality = cardinality
+        self.parents = parents
+        self.parent_cardinalities = parent_cardinalities
+        self.table = array
+
+        state_names = dict(state_names or {})
+        self.state_names: dict[str, list[str]] = {}
+        all_vars = [variable] + parents
+        all_cards = [cardinality] + parent_cardinalities
+        for name, card in zip(all_vars, all_cards):
+            states = list(state_names.get(name, [str(i) for i in range(card)]))
+            if len(states) != card:
+                raise CPDError(
+                    f"variable {name!r} has {card} states but "
+                    f"{len(states)} state names were supplied")
+            self.state_names[name] = states
+
+    # ----------------------------------------------------------------- export
+    def to_factor(self) -> DiscreteFactor:
+        """Return the CPD as a factor over ``[variable] + parents``."""
+        variables = [self.variable] + self.parents
+        cardinalities = [self.cardinality] + self.parent_cardinalities
+        # self.table is (child_card, prod(parent_cards)) with the last parent
+        # varying fastest, which is exactly C-order over the parent axes.
+        values = self.table.reshape(cardinalities)
+        return DiscreteFactor(variables, cardinalities, values, self.state_names)
+
+    def copy(self) -> "TabularCPD":
+        """Return an independent copy of the CPD."""
+        return TabularCPD(self.variable, self.cardinality, self.table.copy(),
+                          self.parents, self.parent_cardinalities,
+                          self.state_names)
+
+    # ---------------------------------------------------------------- queries
+    def parent_configuration_index(self, assignment: Mapping[str, str | int]) -> int:
+        """Return the column index for a joint parent assignment."""
+        index = 0
+        for parent, card in zip(self.parents, self.parent_cardinalities):
+            if parent not in assignment:
+                raise CPDError(
+                    f"assignment is missing parent {parent!r} of {self.variable!r}")
+            state = assignment[parent]
+            if isinstance(state, (int, np.integer)):
+                state_index = int(state)
+                if not 0 <= state_index < card:
+                    raise CPDError(
+                        f"state index {state_index} out of range for parent {parent!r}")
+            else:
+                try:
+                    state_index = self.state_names[parent].index(str(state))
+                except ValueError:
+                    raise CPDError(
+                        f"unknown state {state!r} for parent {parent!r}") from None
+            index = index * card + state_index
+        return index
+
+    def distribution(self, parent_assignment: Mapping[str, str | int] | None = None
+                     ) -> dict[str, float]:
+        """Return ``P(variable | parent_assignment)`` as ``{state: probability}``."""
+        column = self.parent_configuration_index(parent_assignment or {})
+        return {state: float(p)
+                for state, p in zip(self.state_names[self.variable],
+                                    self.table[:, column])}
+
+    def probability(self, state: str | int,
+                    parent_assignment: Mapping[str, str | int] | None = None) -> float:
+        """Return ``P(variable = state | parent_assignment)``."""
+        column = self.parent_configuration_index(parent_assignment or {})
+        if isinstance(state, (int, np.integer)):
+            row = int(state)
+        else:
+            try:
+                row = self.state_names[self.variable].index(str(state))
+            except ValueError:
+                raise CPDError(
+                    f"unknown state {state!r} for variable {self.variable!r}") from None
+        return float(self.table[row, column])
+
+    def is_close_to(self, other: "TabularCPD", *, atol: float = 1e-8) -> bool:
+        """Return ``True`` when both CPDs encode the same distribution."""
+        return (self.variable == other.variable
+                and self.parents == other.parents
+                and self.table.shape == other.table.shape
+                and bool(np.allclose(self.table, other.table, atol=atol)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TabularCPD(variable={self.variable!r}, parents={self.parents}, "
+                f"cardinality={self.cardinality})")
+
+
+def uniform_cpd(variable: str, cardinality: int,
+                parents: Sequence[str] = (),
+                parent_cardinalities: Sequence[int] = (),
+                state_names: Mapping[str, Sequence[str]] | None = None) -> TabularCPD:
+    """Return a CPD that is uniform over the child's states for every parent configuration."""
+    columns = int(np.prod(parent_cardinalities)) if parents else 1
+    table = np.full((cardinality, columns), 1.0 / cardinality)
+    return TabularCPD(variable, cardinality, table, parents,
+                      parent_cardinalities, state_names)
+
+
+def random_cpd(variable: str, cardinality: int,
+               parents: Sequence[str] = (),
+               parent_cardinalities: Sequence[int] = (),
+               state_names: Mapping[str, Sequence[str]] | None = None,
+               rng: np.random.Generator | None = None,
+               concentration: float = 1.0) -> TabularCPD:
+    """Return a CPD with columns drawn from a symmetric Dirichlet distribution."""
+    rng = rng if rng is not None else np.random.default_rng()
+    columns = int(np.prod(parent_cardinalities)) if parents else 1
+    table = rng.dirichlet([concentration] * cardinality, size=columns).T
+    return TabularCPD(variable, cardinality, table, parents,
+                      parent_cardinalities, state_names)

@@ -1,0 +1,282 @@
+"""Discrete factors over named variables.
+
+A factor is a non-negative table indexed by the joint states of a set of
+variables.  Conditional probability tables, intermediate results of variable
+elimination and clique potentials in the junction tree are all factors.  The
+implementation stores the table as a dense :class:`numpy.ndarray` with one
+axis per variable, in the order of :attr:`DiscreteFactor.variables`.
+
+State names are first-class: the paper's model variables have named states
+("Non-Operational", "nominal level", ...), and the diagnostic reports are
+expressed in those names, so every factor carries a ``state_names`` mapping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import FactorError
+
+
+class DiscreteFactor:
+    """A dense discrete factor phi(X1, ..., Xn).
+
+    Parameters
+    ----------
+    variables:
+        Variable names, one per axis of ``values``.
+    cardinalities:
+        Number of states per variable, aligned with ``variables``.
+    values:
+        Array (or nested sequence) of non-negative reals whose size equals the
+        product of the cardinalities.  It is reshaped to one axis per
+        variable.
+    state_names:
+        Optional ``{variable: [state, ...]}`` mapping.  When omitted, states
+        are the stringified integers ``"0" ... "k-1"``.
+    """
+
+    def __init__(self, variables: Sequence[str], cardinalities: Sequence[int],
+                 values: Sequence | np.ndarray,
+                 state_names: Mapping[str, Sequence[str]] | None = None) -> None:
+        variables = list(variables)
+        cardinalities = [int(c) for c in cardinalities]
+        if len(variables) != len(cardinalities):
+            raise FactorError("variables and cardinalities must have equal length")
+        if len(set(variables)) != len(variables):
+            raise FactorError(f"duplicate variables in factor: {variables}")
+        for variable, card in zip(variables, cardinalities):
+            if card < 1:
+                raise FactorError(
+                    f"variable {variable!r} must have at least one state, got {card}")
+        array = np.asarray(values, dtype=float)
+        expected = int(np.prod(cardinalities)) if variables else 1
+        if array.size != expected:
+            raise FactorError(
+                f"values has {array.size} entries, expected {expected} "
+                f"for cardinalities {cardinalities}")
+        if np.any(array < 0):
+            raise FactorError("factor values must be non-negative")
+        self.variables: list[str] = variables
+        self.cardinalities: list[int] = cardinalities
+        self.values: np.ndarray = array.reshape(cardinalities) if variables else array.reshape(())
+        self.state_names: dict[str, list[str]] = {}
+        state_names = state_names or {}
+        for variable, card in zip(variables, cardinalities):
+            names = list(state_names.get(variable, [str(i) for i in range(card)]))
+            if len(names) != card:
+                raise FactorError(
+                    f"variable {variable!r} has {card} states but "
+                    f"{len(names)} state names were given")
+            if len(set(names)) != len(names):
+                raise FactorError(
+                    f"variable {variable!r} has duplicate state names: {names}")
+            self.state_names[variable] = names
+
+    # ----------------------------------------------------------------- helpers
+    def cardinality(self, variable: str) -> int:
+        """Return the number of states of ``variable``."""
+        return self.cardinalities[self._axis(variable)]
+
+    def _axis(self, variable: str) -> int:
+        try:
+            return self.variables.index(variable)
+        except ValueError:
+            raise FactorError(
+                f"variable {variable!r} is not in factor over {self.variables}") from None
+
+    def state_index(self, variable: str, state: str | int) -> int:
+        """Return the axis index of ``state`` for ``variable``.
+
+        ``state`` may be a state name or an integer index.
+        """
+        names = self.state_names[self.variables[self._axis(variable)]]
+        if isinstance(state, (int, np.integer)):
+            index = int(state)
+            if not 0 <= index < len(names):
+                raise FactorError(
+                    f"state index {index} out of range for variable {variable!r} "
+                    f"with {len(names)} states")
+            return index
+        try:
+            return names.index(str(state))
+        except ValueError:
+            raise FactorError(
+                f"unknown state {state!r} for variable {variable!r}; "
+                f"known states: {names}") from None
+
+    def copy(self) -> "DiscreteFactor":
+        """Return an independent copy of the factor."""
+        return DiscreteFactor(self.variables, self.cardinalities,
+                              self.values.copy(), self.state_names)
+
+    # -------------------------------------------------------------- operations
+    def product(self, other: "DiscreteFactor") -> "DiscreteFactor":
+        """Return the factor product ``self * other``.
+
+        Shared variables must agree on cardinality and state names.
+        """
+        result_vars = list(self.variables)
+        result_cards = list(self.cardinalities)
+        result_states = {v: list(self.state_names[v]) for v in self.variables}
+        for variable, card in zip(other.variables, other.cardinalities):
+            if variable in result_states:
+                if result_states[variable] != other.state_names[variable]:
+                    raise FactorError(
+                        f"state-name mismatch for shared variable {variable!r}: "
+                        f"{result_states[variable]} vs {other.state_names[variable]}")
+            else:
+                result_vars.append(variable)
+                result_cards.append(card)
+                result_states[variable] = list(other.state_names[variable])
+
+        left = self._broadcast_to(result_vars, result_cards)
+        right = other._broadcast_to(result_vars, result_cards)
+        return DiscreteFactor(result_vars, result_cards, left * right, result_states)
+
+    def _broadcast_to(self, variables: Sequence[str],
+                      cardinalities: Sequence[int]) -> np.ndarray:
+        """Return ``self.values`` broadcast to the axes of ``variables``.
+
+        ``variables`` must contain every variable of this factor; the result
+        has one axis per entry of ``variables`` with the factor's values
+        repeated along the axes it does not mention.
+        """
+        variables = list(variables)
+        cardinalities = list(cardinalities)
+        if not self.variables:
+            return np.broadcast_to(self.values, cardinalities).astype(float)
+        dest_axes = [variables.index(v) for v in self.variables]
+        shape = [1] * len(variables)
+        for axis, variable in enumerate(self.variables):
+            shape[dest_axes[axis]] = self.cardinalities[axis]
+        # Transpose the source axes into increasing destination order so that
+        # the subsequent reshape places each axis at its destination slot.
+        order = np.argsort(dest_axes)
+        transposed = np.transpose(self.values, axes=order)
+        reshaped = transposed.reshape(shape)
+        return np.broadcast_to(reshaped, cardinalities).astype(float)
+
+    def marginalize(self, variables: Iterable[str]) -> "DiscreteFactor":
+        """Sum out ``variables`` and return the resulting factor."""
+        to_remove = list(variables)
+        for variable in to_remove:
+            self._axis(variable)
+        keep = [v for v in self.variables if v not in to_remove]
+        axes = tuple(self._axis(v) for v in to_remove)
+        values = self.values.sum(axis=axes) if axes else self.values.copy()
+        cards = [self.cardinality(v) for v in keep]
+        states = {v: self.state_names[v] for v in keep}
+        return DiscreteFactor(keep, cards, values, states)
+
+    def maximize(self, variables: Iterable[str]) -> "DiscreteFactor":
+        """Max out ``variables`` (used for MAP-style queries)."""
+        to_remove = list(variables)
+        for variable in to_remove:
+            self._axis(variable)
+        keep = [v for v in self.variables if v not in to_remove]
+        axes = tuple(self._axis(v) for v in to_remove)
+        values = self.values.max(axis=axes) if axes else self.values.copy()
+        cards = [self.cardinality(v) for v in keep]
+        states = {v: self.state_names[v] for v in keep}
+        return DiscreteFactor(keep, cards, values, states)
+
+    def reduce(self, evidence: Mapping[str, str | int]) -> "DiscreteFactor":
+        """Condition on ``evidence`` (variable -> state) and drop those axes."""
+        indexer: list[object] = [slice(None)] * len(self.variables)
+        drop = []
+        for variable, state in evidence.items():
+            if variable not in self.variables:
+                continue
+            axis = self._axis(variable)
+            indexer[axis] = self.state_index(variable, state)
+            drop.append(variable)
+        values = self.values[tuple(indexer)]
+        keep = [v for v in self.variables if v not in drop]
+        cards = [self.cardinality(v) for v in keep]
+        states = {v: self.state_names[v] for v in keep}
+        return DiscreteFactor(keep, cards, values, states)
+
+    def normalize(self) -> "DiscreteFactor":
+        """Return the factor scaled so that its entries sum to one."""
+        total = float(self.values.sum())
+        if total <= 0:
+            raise FactorError(
+                "cannot normalise a factor whose entries sum to zero; "
+                "the evidence is inconsistent with the model")
+        return DiscreteFactor(self.variables, self.cardinalities,
+                              self.values / total, self.state_names)
+
+    def divide(self, other: "DiscreteFactor") -> "DiscreteFactor":
+        """Return ``self / other`` with the 0/0 convention equal to 0.
+
+        Used by junction-tree message passing when dividing a sepset's new
+        potential by its old potential.
+        """
+        result_vars = list(self.variables)
+        result_cards = list(self.cardinalities)
+        for variable in other.variables:
+            if variable not in result_vars:
+                raise FactorError(
+                    f"cannot divide: {variable!r} not present in numerator")
+        numerator = self.values
+        denominator = other._broadcast_to(result_vars, result_cards)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            values = np.where(denominator > 0, numerator / denominator, 0.0)
+        return DiscreteFactor(result_vars, result_cards, values, self.state_names)
+
+    # ----------------------------------------------------------------- queries
+    def get(self, assignment: Mapping[str, str | int]) -> float:
+        """Return the factor value for a full assignment of its variables."""
+        indexer = []
+        for variable in self.variables:
+            if variable not in assignment:
+                raise FactorError(
+                    f"assignment is missing variable {variable!r}")
+            indexer.append(self.state_index(variable, assignment[variable]))
+        return float(self.values[tuple(indexer)])
+
+    def to_distribution(self) -> dict[str, float]:
+        """Return a single-variable factor as ``{state_name: probability}``."""
+        if len(self.variables) != 1:
+            raise FactorError(
+                f"to_distribution requires a single-variable factor, "
+                f"got variables {self.variables}")
+        variable = self.variables[0]
+        return {name: float(value)
+                for name, value in zip(self.state_names[variable], self.values)}
+
+    def argmax(self) -> dict[str, str]:
+        """Return the assignment with the highest value."""
+        flat_index = int(np.argmax(self.values))
+        indices = np.unravel_index(flat_index, self.values.shape) if self.variables else ()
+        return {variable: self.state_names[variable][index]
+                for variable, index in zip(self.variables, indices)}
+
+    def is_close_to(self, other: "DiscreteFactor", *, atol: float = 1e-8) -> bool:
+        """Return ``True`` when both factors describe the same table."""
+        if set(self.variables) != set(other.variables):
+            return False
+        aligned = other._broadcast_to(self.variables, self.cardinalities)
+        return bool(np.allclose(self.values, aligned, atol=atol))
+
+    def __mul__(self, other: "DiscreteFactor") -> "DiscreteFactor":
+        return self.product(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiscreteFactor(variables={self.variables}, cardinalities={self.cardinalities})"
+
+
+def factor_product(factors: Iterable[DiscreteFactor]) -> DiscreteFactor:
+    """Return the product of an iterable of factors.
+
+    An empty iterable yields the neutral (scalar 1.0) factor.
+    """
+    result: DiscreteFactor | None = None
+    for factor in factors:
+        result = factor if result is None else result.product(factor)
+    if result is None:
+        return DiscreteFactor([], [], np.array(1.0))
+    return result

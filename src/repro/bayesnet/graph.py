@@ -1,0 +1,298 @@
+"""Directed-acyclic-graph primitives for Bayesian belief networks.
+
+The BBN structure model of the paper (Section III-A.1) is a directed acyclic
+graph whose nodes are the functional blocks of the analogue circuit and whose
+arcs are the cause–effect dependencies between blocks.  This module provides
+the graph data structure together with the classical queries inference and
+learning need: topological ordering, ancestor/descendant sets, the moral
+graph and d-separation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable
+
+from repro.exceptions import GraphError
+
+Node = Hashable
+
+
+class DirectedGraph:
+    """A simple directed graph with optional acyclicity enforcement.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(parent, child)`` pairs.
+    nodes:
+        Optional iterable of nodes to add up front (isolated nodes are
+        allowed; a block with no modelled dependencies is still a model
+        variable).
+    """
+
+    def __init__(self, edges: Iterable[tuple[Node, Node]] | None = None,
+                 nodes: Iterable[Node] | None = None) -> None:
+        self._parents: dict[Node, list[Node]] = {}
+        self._children: dict[Node, list[Node]] = {}
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for parent, child in edges:
+                self.add_edge(parent, child)
+
+    # ------------------------------------------------------------------ nodes
+    @property
+    def nodes(self) -> list[Node]:
+        """All nodes in insertion order."""
+        return list(self._parents)
+
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` if it is not already present."""
+        if node not in self._parents:
+            self._parents[node] = []
+            self._children[node] = []
+
+    def has_node(self, node: Node) -> bool:
+        """Return ``True`` when ``node`` is in the graph."""
+        return node in self._parents
+
+    def __contains__(self, node: Node) -> bool:
+        return self.has_node(node)
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    # ------------------------------------------------------------------ edges
+    @property
+    def edges(self) -> list[tuple[Node, Node]]:
+        """All ``(parent, child)`` edges."""
+        return [(parent, child)
+                for child, parents in self._parents.items()
+                for parent in parents]
+
+    def add_edge(self, parent: Node, child: Node) -> None:
+        """Add the directed edge ``parent -> child``.
+
+        Raises
+        ------
+        GraphError
+            If the edge would introduce a cycle or a self loop.
+        """
+        if parent == child:
+            raise GraphError(f"self loop on node {parent!r} is not allowed")
+        self.add_node(parent)
+        self.add_node(child)
+        if parent in self._parents[child]:
+            return
+        if self._is_reachable(child, parent):
+            raise GraphError(
+                f"adding edge {parent!r} -> {child!r} would create a cycle")
+        self._parents[child].append(parent)
+        self._children[parent].append(child)
+
+    def remove_edge(self, parent: Node, child: Node) -> None:
+        """Remove the directed edge ``parent -> child`` if present."""
+        if child in self._parents and parent in self._parents[child]:
+            self._parents[child].remove(parent)
+            self._children[parent].remove(child)
+
+    def has_edge(self, parent: Node, child: Node) -> bool:
+        """Return ``True`` when the edge ``parent -> child`` exists."""
+        return child in self._parents and parent in self._parents[child]
+
+    def parents(self, node: Node) -> list[Node]:
+        """Return the parents of ``node`` in insertion order."""
+        self._require(node)
+        return list(self._parents[node])
+
+    def children(self, node: Node) -> list[Node]:
+        """Return the children of ``node`` in insertion order."""
+        self._require(node)
+        return list(self._children[node])
+
+    def in_degree(self, node: Node) -> int:
+        """Return the number of parents of ``node``."""
+        self._require(node)
+        return len(self._parents[node])
+
+    def out_degree(self, node: Node) -> int:
+        """Return the number of children of ``node``."""
+        self._require(node)
+        return len(self._children[node])
+
+    def roots(self) -> list[Node]:
+        """Return all nodes with no parents."""
+        return [node for node in self._parents if not self._parents[node]]
+
+    def leaves(self) -> list[Node]:
+        """Return all nodes with no children."""
+        return [node for node in self._children if not self._children[node]]
+
+    # ------------------------------------------------------------ reachability
+    def _require(self, node: Node) -> None:
+        if node not in self._parents:
+            raise GraphError(f"node {node!r} is not in the graph")
+
+    def _is_reachable(self, source: Node, target: Node) -> bool:
+        """Return ``True`` when ``target`` is reachable from ``source``."""
+        if source == target:
+            return True
+        queue = deque([source])
+        seen = {source}
+        while queue:
+            node = queue.popleft()
+            for child in self._children.get(node, ()):
+                if child == target:
+                    return True
+                if child not in seen:
+                    seen.add(child)
+                    queue.append(child)
+        return False
+
+    def ancestors(self, node: Node) -> set[Node]:
+        """Return every node from which ``node`` is reachable (excluding itself)."""
+        self._require(node)
+        result: set[Node] = set()
+        queue = deque(self._parents[node])
+        while queue:
+            current = queue.popleft()
+            if current in result:
+                continue
+            result.add(current)
+            queue.extend(self._parents[current])
+        return result
+
+    def descendants(self, node: Node) -> set[Node]:
+        """Return every node reachable from ``node`` (excluding itself)."""
+        self._require(node)
+        result: set[Node] = set()
+        queue = deque(self._children[node])
+        while queue:
+            current = queue.popleft()
+            if current in result:
+                continue
+            result.add(current)
+            queue.extend(self._children[current])
+        return result
+
+    def ancestral_set(self, nodes: Iterable[Node]) -> set[Node]:
+        """Return the given nodes together with all their ancestors."""
+        result: set[Node] = set()
+        for node in nodes:
+            result.add(node)
+            result |= self.ancestors(node)
+        return result
+
+    # -------------------------------------------------------------- orderings
+    def topological_sort(self) -> list[Node]:
+        """Return the nodes in a parents-before-children order.
+
+        Raises
+        ------
+        GraphError
+            If the graph contains a cycle (cannot happen when edges were only
+            added through :meth:`add_edge`, which rejects cycles).
+        """
+        in_degree = {node: len(parents) for node, parents in self._parents.items()}
+        queue = deque(node for node, degree in in_degree.items() if degree == 0)
+        order: list[Node] = []
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for child in self._children[node]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    queue.append(child)
+        if len(order) != len(self._parents):
+            raise GraphError("graph contains a cycle; topological sort impossible")
+        return order
+
+    # ------------------------------------------------------------ moral graph
+    def moral_graph(self) -> dict[Node, set[Node]]:
+        """Return the moralised, undirected adjacency of the DAG.
+
+        Moralisation connects every pair of parents of a common child and
+        drops edge directions; it is the first step of junction-tree
+        construction.
+        """
+        adjacency: dict[Node, set[Node]] = {node: set() for node in self._parents}
+        for child, parents in self._parents.items():
+            for parent in parents:
+                adjacency[parent].add(child)
+                adjacency[child].add(parent)
+            for i, first in enumerate(parents):
+                for second in parents[i + 1:]:
+                    adjacency[first].add(second)
+                    adjacency[second].add(first)
+        return adjacency
+
+    # ------------------------------------------------------------ d-separation
+    def active_trail_nodes(self, start: Node,
+                           observed: Iterable[Node] = ()) -> set[Node]:
+        """Return all nodes reachable from ``start`` via an active trail.
+
+        Implements the classical "Bayes-ball" reachability algorithm.  A node
+        is in the result when there exists a trail from ``start`` to it that
+        is not blocked by the ``observed`` set.
+        """
+        self._require(start)
+        observed = set(observed)
+        ancestors_of_observed = set(observed)
+        for node in observed:
+            ancestors_of_observed |= self.ancestors(node)
+
+        # Each visit is a (node, direction) pair; direction 'up' means the
+        # trail arrives from a child, 'down' means it arrives from a parent.
+        visited: set[tuple[Node, str]] = set()
+        reachable: set[Node] = set()
+        queue: deque[tuple[Node, str]] = deque([(start, "up")])
+        while queue:
+            node, direction = queue.popleft()
+            if (node, direction) in visited:
+                continue
+            visited.add((node, direction))
+            if node not in observed:
+                reachable.add(node)
+            if direction == "up" and node not in observed:
+                for parent in self._parents[node]:
+                    queue.append((parent, "up"))
+                for child in self._children[node]:
+                    queue.append((child, "down"))
+            elif direction == "down":
+                if node not in observed:
+                    for child in self._children[node]:
+                        queue.append((child, "down"))
+                if node in ancestors_of_observed:
+                    for parent in self._parents[node]:
+                        queue.append((parent, "up"))
+        reachable.discard(start)
+        return reachable
+
+    def is_d_separated(self, first: Node, second: Node,
+                       observed: Iterable[Node] = ()) -> bool:
+        """Return ``True`` when ``first`` and ``second`` are d-separated given ``observed``."""
+        self._require(second)
+        return second not in self.active_trail_nodes(first, observed)
+
+    # ---------------------------------------------------------------- utility
+    def copy(self) -> "DirectedGraph":
+        """Return an independent copy of the graph."""
+        clone = DirectedGraph(nodes=self.nodes)
+        for parent, child in self.edges:
+            clone.add_edge(parent, child)
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node]) -> "DirectedGraph":
+        """Return the induced subgraph on ``nodes``."""
+        keep = set(nodes)
+        sub = DirectedGraph(nodes=[n for n in self.nodes if n in keep])
+        for parent, child in self.edges:
+            if parent in keep and child in keep:
+                sub.add_edge(parent, child)
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DirectedGraph(nodes={len(self._parents)}, "
+                f"edges={len(self.edges)})")

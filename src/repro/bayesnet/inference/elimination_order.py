@@ -1,0 +1,92 @@
+"""Heuristics for choosing variable-elimination orderings.
+
+Exact inference cost is driven by the size of the intermediate factors, which
+in turn is driven by the order in which variables are summed out.  Three
+classical greedy heuristics are provided; ``min_fill`` is the default used by
+:class:`~repro.bayesnet.inference.variable_elimination.VariableElimination`
+and by junction-tree construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.bayesnet.network import BayesianNetwork
+
+
+def _interaction_graph(network: BayesianNetwork) -> dict[str, set[str]]:
+    """Return the moralised (interaction) graph of the network."""
+    return network.graph.moral_graph()
+
+
+def _eliminate_node(adjacency: dict[str, set[str]], node: str) -> None:
+    """Remove ``node`` from ``adjacency``, connecting its neighbours pairwise."""
+    neighbours = adjacency.pop(node)
+    for neighbour in neighbours:
+        adjacency[neighbour].discard(node)
+    neighbours = list(neighbours)
+    for i, first in enumerate(neighbours):
+        for second in neighbours[i + 1:]:
+            adjacency[first].add(second)
+            adjacency[second].add(first)
+
+
+def _fill_in_count(adjacency: Mapping[str, set[str]], node: str) -> int:
+    """Return how many new edges eliminating ``node`` would add."""
+    neighbours = list(adjacency[node])
+    count = 0
+    for i, first in enumerate(neighbours):
+        for second in neighbours[i + 1:]:
+            if second not in adjacency[first]:
+                count += 1
+    return count
+
+
+def _cluster_weight(adjacency: Mapping[str, set[str]], node: str,
+                    cardinalities: Mapping[str, int]) -> int:
+    """Return the state-space size of the cluster formed by eliminating ``node``."""
+    weight = cardinalities[node]
+    for neighbour in adjacency[node]:
+        weight *= cardinalities[neighbour]
+    return weight
+
+
+def _greedy_order(network: BayesianNetwork, to_eliminate: Iterable[str],
+                  cost) -> list[str]:
+    adjacency = _interaction_graph(network)
+    remaining = set(to_eliminate)
+    order: list[str] = []
+    while remaining:
+        best = min(sorted(remaining), key=lambda node: cost(adjacency, node))
+        order.append(best)
+        remaining.discard(best)
+        _eliminate_node(adjacency, best)
+    return order
+
+
+def min_fill_order(network: BayesianNetwork,
+                   to_eliminate: Iterable[str] | None = None) -> list[str]:
+    """Greedy ordering that minimises the number of fill-in edges at each step."""
+    if to_eliminate is None:
+        to_eliminate = network.nodes
+    return _greedy_order(network, to_eliminate, _fill_in_count)
+
+
+def min_degree_order(network: BayesianNetwork,
+                     to_eliminate: Iterable[str] | None = None) -> list[str]:
+    """Greedy ordering that eliminates the lowest-degree node at each step."""
+    if to_eliminate is None:
+        to_eliminate = network.nodes
+    return _greedy_order(network, to_eliminate,
+                         lambda adjacency, node: len(adjacency[node]))
+
+
+def min_weight_order(network: BayesianNetwork,
+                     to_eliminate: Iterable[str] | None = None) -> list[str]:
+    """Greedy ordering that minimises the created cluster's state-space size."""
+    if to_eliminate is None:
+        to_eliminate = network.nodes
+    cardinalities = {node: network.cardinality(node) for node in network.nodes}
+    return _greedy_order(
+        network, to_eliminate,
+        lambda adjacency, node: _cluster_weight(adjacency, node, cardinalities))

@@ -1,0 +1,163 @@
+"""Approximate inference by Gibbs sampling.
+
+Gibbs sampling resamples each non-evidence variable from its full conditional
+given the current state of its Markov blanket.  It is included as a second
+approximate engine for the inference-engine comparison benchmark and as a
+cross-check of the exact engines on larger synthetic networks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.bayesnet.factor import DiscreteFactor
+from repro.bayesnet.network import BayesianNetwork
+from repro.exceptions import InferenceError
+from repro.utils.rng import ensure_rng
+
+Evidence = Mapping[str, str | int]
+
+
+class GibbsSampling:
+    """Gibbs-sampling inference over a discrete Bayesian network.
+
+    Parameters
+    ----------
+    network:
+        A fully specified network.
+    num_samples:
+        Number of retained samples per query (after burn-in and thinning).
+    burn_in:
+        Number of initial sweeps discarded.
+    thin:
+        Keep one sample every ``thin`` sweeps.
+    seed:
+        Seed or generator for reproducible sampling.
+    """
+
+    def __init__(self, network: BayesianNetwork, num_samples: int = 2000,
+                 burn_in: int = 200, thin: int = 2,
+                 seed: int | np.random.Generator | None = None) -> None:
+        network.check_model()
+        if num_samples < 1:
+            raise InferenceError("num_samples must be at least 1")
+        if burn_in < 0 or thin < 1:
+            raise InferenceError("burn_in must be >= 0 and thin >= 1")
+        self.network = network
+        self.num_samples = int(num_samples)
+        self.burn_in = int(burn_in)
+        self.thin = int(thin)
+        self._rng = ensure_rng(seed)
+        self._order = network.graph.topological_sort()
+
+    def _state_index(self, variable: str, state: str | int) -> int:
+        cpd = self.network.get_cpd(variable)
+        if isinstance(state, (int, np.integer)):
+            return int(state)
+        names = cpd.state_names[variable]
+        if str(state) not in names:
+            raise InferenceError(
+                f"unknown state {state!r} for variable {variable!r}")
+        return names.index(str(state))
+
+    def _full_conditional(self, variable: str,
+                          assignment: dict[str, int]) -> np.ndarray:
+        """Return the unnormalised full conditional of ``variable``."""
+        cpd = self.network.get_cpd(variable)
+        column = cpd.parent_configuration_index(
+            {p: assignment[p] for p in cpd.parents})
+        probabilities = cpd.table[:, column].copy()
+        for child in self.network.children(variable):
+            child_cpd = self.network.get_cpd(child)
+            child_state = assignment[child]
+            for candidate in range(cpd.cardinality):
+                parent_assignment = {p: assignment[p] for p in child_cpd.parents}
+                parent_assignment[variable] = candidate
+                child_column = child_cpd.parent_configuration_index(parent_assignment)
+                probabilities[candidate] *= child_cpd.table[child_state, child_column]
+        return probabilities
+
+    def _initial_state(self, evidence: dict[str, int]) -> dict[str, int]:
+        assignment: dict[str, int] = {}
+        for node in self._order:
+            if node in evidence:
+                assignment[node] = evidence[node]
+                continue
+            cpd = self.network.get_cpd(node)
+            column = cpd.parent_configuration_index(
+                {p: assignment[p] for p in cpd.parents})
+            distribution = cpd.table[:, column]
+            assignment[node] = int(self._rng.choice(len(distribution), p=distribution))
+        return assignment
+
+    def sample(self, evidence: Evidence | None = None) -> list[dict[str, int]]:
+        """Return retained Gibbs samples as state-index assignments."""
+        evidence_indices = {variable: self._state_index(variable, state)
+                            for variable, state in (evidence or {}).items()}
+        for variable in evidence_indices:
+            if variable not in self.network.graph:
+                raise InferenceError(f"unknown evidence variable {variable!r}")
+        assignment = self._initial_state(evidence_indices)
+        free = [node for node in self._order if node not in evidence_indices]
+        samples: list[dict[str, int]] = []
+        total_sweeps = self.burn_in + self.num_samples * self.thin
+        for sweep in range(total_sweeps):
+            for node in free:
+                probabilities = self._full_conditional(node, assignment)
+                total = probabilities.sum()
+                if total <= 0:
+                    # The current configuration is inconsistent with the
+                    # evidence; restart from a fresh forward sample.
+                    assignment = self._initial_state(evidence_indices)
+                    probabilities = self._full_conditional(node, assignment)
+                    total = probabilities.sum()
+                    if total <= 0:
+                        raise InferenceError(
+                            f"cannot resample {node!r}: all conditional "
+                            "probabilities are zero")
+                assignment[node] = int(
+                    self._rng.choice(len(probabilities), p=probabilities / total))
+            if sweep >= self.burn_in and (sweep - self.burn_in) % self.thin == 0:
+                samples.append(dict(assignment))
+        return samples
+
+    def query(self, variables: Sequence[str],
+              evidence: Evidence | None = None) -> DiscreteFactor:
+        """Return an estimate of the posterior factor of ``variables``."""
+        variables = list(variables)
+        if not variables:
+            raise InferenceError("query requires at least one variable")
+        for variable in variables:
+            if variable not in self.network.graph:
+                raise InferenceError(f"unknown query variable {variable!r}")
+        samples = self.sample(evidence)
+        cards = [self.network.cardinality(v) for v in variables]
+        names = {v: self.network.state_names(v) for v in variables}
+        counts = np.zeros(cards, dtype=float)
+        for sample in samples:
+            counts[tuple(sample[v] for v in variables)] += 1.0
+        return DiscreteFactor(variables, cards, counts / counts.sum(), names)
+
+    def posterior(self, variable: str,
+                  evidence: Evidence | None = None) -> dict[str, float]:
+        """Return ``P(variable | evidence)`` as ``{state: probability}``."""
+        return self.query([variable], evidence).to_distribution()
+
+    def posteriors(self, variables: Iterable[str],
+                   evidence: Evidence | None = None) -> dict[str, dict[str, float]]:
+        """Return the marginal posterior estimate of each variable."""
+        variables = list(variables)
+        samples = self.sample(evidence)
+        result: dict[str, dict[str, float]] = {}
+        for variable in variables:
+            card = self.network.cardinality(variable)
+            counts = np.zeros(card, dtype=float)
+            for sample in samples:
+                counts[sample[variable]] += 1.0
+            names = self.network.state_names(variable)
+            total = counts.sum()
+            result[variable] = {name: float(c / total)
+                                for name, c in zip(names, counts)}
+        return result

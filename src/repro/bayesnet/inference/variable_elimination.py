@@ -1,0 +1,133 @@
+"""Exact inference by variable elimination.
+
+This is the default inference engine of the diagnosis stack: the voltage
+regulator network of the paper has 19 nodes with at most five states, which
+variable elimination answers in well under a millisecond per query.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.bayesnet.factor import DiscreteFactor, factor_product
+from repro.bayesnet.inference.elimination_order import min_fill_order
+from repro.bayesnet.network import BayesianNetwork
+from repro.exceptions import InferenceError
+
+Evidence = Mapping[str, str | int]
+
+
+class VariableElimination:
+    """Sum-product variable elimination on a :class:`BayesianNetwork`.
+
+    Parameters
+    ----------
+    network:
+        A fully specified network (``check_model()`` must pass).
+    elimination_order:
+        Optional callable ``(network, to_eliminate) -> list`` used to pick the
+        elimination order; defaults to the min-fill heuristic.
+    """
+
+    def __init__(self, network: BayesianNetwork, elimination_order=None) -> None:
+        network.check_model()
+        self.network = network
+        self._order_heuristic = elimination_order or min_fill_order
+
+    # ----------------------------------------------------------------- checks
+    def _validate(self, variables: Sequence[str], evidence: Evidence) -> None:
+        for variable in variables:
+            if variable not in self.network.graph:
+                raise InferenceError(f"unknown query variable {variable!r}")
+        for variable, state in evidence.items():
+            if variable not in self.network.graph:
+                raise InferenceError(f"unknown evidence variable {variable!r}")
+            cpd = self.network.get_cpd(variable)
+            names = cpd.state_names[variable]
+            if isinstance(state, str) and state not in names:
+                raise InferenceError(
+                    f"unknown state {state!r} for evidence variable {variable!r}; "
+                    f"known states: {names}")
+            if isinstance(state, int) and not 0 <= state < cpd.cardinality:
+                raise InferenceError(
+                    f"state index {state} out of range for evidence variable "
+                    f"{variable!r}")
+        overlap = set(variables) & set(evidence)
+        if overlap:
+            raise InferenceError(
+                f"variables {sorted(overlap)} appear both as query and evidence")
+
+    # ------------------------------------------------------------------ query
+    def query(self, variables: Sequence[str],
+              evidence: Evidence | None = None) -> DiscreteFactor:
+        """Return the joint posterior factor of ``variables`` given ``evidence``."""
+        evidence = dict(evidence or {})
+        variables = list(variables)
+        if not variables:
+            raise InferenceError("query requires at least one variable")
+        self._validate(variables, evidence)
+
+        factors = [factor.reduce(evidence) if evidence else factor
+                   for factor in self.network.to_factors()]
+        keep = set(variables)
+        to_eliminate = [node for node in self.network.nodes
+                        if node not in keep and node not in evidence]
+        order = self._order_heuristic(self.network, to_eliminate)
+
+        working = list(factors)
+        for node in order:
+            involved = [f for f in working if node in f.variables]
+            if not involved:
+                continue
+            working = [f for f in working if node not in f.variables]
+            combined = factor_product(involved).marginalize([node])
+            working.append(combined)
+
+        result = factor_product(working)
+        # Drop any stray evidence variables that survived as zero-dim axes.
+        extra = [v for v in result.variables if v not in keep]
+        if extra:
+            result = result.marginalize(extra)
+        if float(result.values.sum()) <= 0.0:
+            raise InferenceError(
+                "the evidence has zero probability under the model; "
+                "posteriors are undefined")
+        return result.normalize()
+
+    def posterior(self, variable: str,
+                  evidence: Evidence | None = None) -> dict[str, float]:
+        """Return ``P(variable | evidence)`` as ``{state: probability}``."""
+        return self.query([variable], evidence).to_distribution()
+
+    def posteriors(self, variables: Iterable[str],
+                   evidence: Evidence | None = None) -> dict[str, dict[str, float]]:
+        """Return the marginal posterior of each variable independently."""
+        return {variable: self.posterior(variable, evidence)
+                for variable in variables}
+
+    def map_query(self, variables: Sequence[str],
+                  evidence: Evidence | None = None) -> dict[str, str]:
+        """Return the most probable joint assignment of ``variables``."""
+        joint = self.query(variables, evidence)
+        return joint.argmax()
+
+    def probability_of_evidence(self, evidence: Evidence) -> float:
+        """Return ``P(evidence)`` (the data likelihood of the observation)."""
+        evidence = dict(evidence)
+        if not evidence:
+            return 1.0
+        self._validate([], evidence)
+        factors = [factor.reduce(evidence) for factor in self.network.to_factors()]
+        to_eliminate = [node for node in self.network.nodes if node not in evidence]
+        order = self._order_heuristic(self.network, to_eliminate)
+        working = list(factors)
+        for node in order:
+            involved = [f for f in working if node in f.variables]
+            if not involved:
+                continue
+            working = [f for f in working if node not in f.variables]
+            working.append(factor_product(involved).marginalize([node]))
+        result = factor_product(working)
+        if result.variables:
+            result = result.marginalize(result.variables)
+        return float(result.values)

@@ -1,0 +1,30 @@
+"""Parameter and structure learning for Bayesian belief networks.
+
+The paper's parameter modelling (Section III-A.2) starts from designer
+estimates and fine-tunes the conditional probability tables from learning
+cases generated out of ATE test data, citing Expectation–Maximisation as the
+learning algorithm.  This subpackage implements:
+
+* :class:`MaximumLikelihoodEstimator` — counts/normalise for fully observed cases.
+* :class:`BayesianEstimator` — Dirichlet-smoothed counting; the prior can be
+  the designer-provided CPTs (the paper's "rough estimate"), making this the
+  direct analogue of the paper's "fine-tuning" step.
+* :class:`ExpectationMaximization` — EM for cases with missing block states
+  (non-observable blocks are never measured directly, so real cases are
+  always partial).
+* :func:`bic_score`, :func:`bdeu_score` — structure scores used by the
+  optional greedy structure-search extension.
+"""
+
+from repro.bayesnet.learning.mle import MaximumLikelihoodEstimator
+from repro.bayesnet.learning.bayesian_estimator import BayesianEstimator
+from repro.bayesnet.learning.em import ExpectationMaximization
+from repro.bayesnet.learning.structure_scores import bic_score, bdeu_score
+
+__all__ = [
+    "MaximumLikelihoodEstimator",
+    "BayesianEstimator",
+    "ExpectationMaximization",
+    "bic_score",
+    "bdeu_score",
+]

@@ -1,0 +1,140 @@
+"""Maximum-likelihood parameter estimation from fully observed cases."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.bayesnet.cpd import TabularCPD
+from repro.bayesnet.network import BayesianNetwork
+from repro.exceptions import LearningError
+
+Case = Mapping[str, object]
+
+
+class MaximumLikelihoodEstimator:
+    """Estimate CPTs by relative frequency counting.
+
+    Parameters
+    ----------
+    structure:
+        A network whose graph defines the parent sets.  Existing CPDs are
+        used only to obtain cardinalities and state names; they are replaced
+        by the learned CPDs in :meth:`fit`.
+    cardinalities / state_names:
+        Required when ``structure`` has no CPDs attached.
+    """
+
+    def __init__(self, structure: BayesianNetwork,
+                 cardinalities: Mapping[str, int] | None = None,
+                 state_names: Mapping[str, Sequence[str]] | None = None) -> None:
+        self.structure = structure
+        self._cardinalities, self._state_names = resolve_schema(
+            structure, cardinalities, state_names)
+
+    # ----------------------------------------------------------------- fitting
+    def state_counts(self, cases: Sequence[Case], node: str) -> np.ndarray:
+        """Return the (child_card, parent_configs) count matrix for ``node``."""
+        parents = self.structure.parents(node)
+        child_card = self._cardinalities[node]
+        parent_cards = [self._cardinalities[p] for p in parents]
+        columns = int(np.prod(parent_cards)) if parents else 1
+        counts = np.zeros((child_card, columns), dtype=float)
+        for case in cases:
+            row = state_index(case.get(node), node, self._state_names)
+            if row is None:
+                continue
+            column = 0
+            skip = False
+            for parent, card in zip(parents, parent_cards):
+                parent_index = state_index(case.get(parent), parent, self._state_names)
+                if parent_index is None:
+                    skip = True
+                    break
+                column = column * card + parent_index
+            if skip:
+                continue
+            counts[row, column] += 1.0
+        return counts
+
+    def estimate_cpd(self, cases: Sequence[Case], node: str) -> TabularCPD:
+        """Return the MLE CPD of ``node`` (uniform where a configuration was never seen)."""
+        parents = self.structure.parents(node)
+        counts = self.state_counts(cases, node)
+        column_sums = counts.sum(axis=0)
+        table = np.empty_like(counts)
+        for column, total in enumerate(column_sums):
+            if total > 0:
+                table[:, column] = counts[:, column] / total
+            else:
+                table[:, column] = 1.0 / counts.shape[0]
+        names = {node: self._state_names[node]}
+        names.update({p: self._state_names[p] for p in parents})
+        return TabularCPD(node, self._cardinalities[node], table, parents,
+                          [self._cardinalities[p] for p in parents], names)
+
+    def fit(self, cases: Sequence[Case]) -> BayesianNetwork:
+        """Return a copy of the structure with MLE CPDs learned from ``cases``."""
+        if not cases:
+            raise LearningError("cannot learn parameters from an empty case list")
+        learned = BayesianNetwork(nodes=self.structure.nodes)
+        for parent, child in self.structure.edges:
+            learned.add_edge(parent, child)
+        for node in learned.nodes:
+            learned.add_cpd(self.estimate_cpd(cases, node))
+        learned.check_model()
+        return learned
+
+
+# --------------------------------------------------------------------- helpers
+def resolve_schema(structure: BayesianNetwork,
+                   cardinalities: Mapping[str, int] | None,
+                   state_names: Mapping[str, Sequence[str]] | None
+                   ) -> tuple[dict[str, int], dict[str, list[str]]]:
+    """Resolve per-variable cardinalities and state names.
+
+    Priority: explicit arguments, then CPDs already attached to the structure.
+    """
+    resolved_cards: dict[str, int] = {}
+    resolved_names: dict[str, list[str]] = {}
+    for node in structure.nodes:
+        if cardinalities and node in cardinalities:
+            resolved_cards[node] = int(cardinalities[node])
+            names = list(state_names[node]) if state_names and node in state_names \
+                else [str(i) for i in range(resolved_cards[node])]
+            resolved_names[node] = names
+            continue
+        try:
+            cpd = structure.get_cpd(node)
+        except Exception as exc:
+            raise LearningError(
+                f"no cardinality available for node {node!r}: supply "
+                "cardinalities/state_names or attach prior CPDs") from exc
+        resolved_cards[node] = cpd.cardinality
+        resolved_names[node] = list(cpd.state_names[node])
+    return resolved_cards, resolved_names
+
+
+def state_index(value: object, variable: str,
+                state_names: Mapping[str, Sequence[str]]) -> int | None:
+    """Translate a case value into a state index.
+
+    ``None`` (missing observation) maps to ``None``; integers are taken as
+    indices; anything else is looked up among the state names.
+    """
+    if value is None:
+        return None
+    names = list(state_names[variable])
+    if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+        index = int(value)
+        if not 0 <= index < len(names):
+            raise LearningError(
+                f"state index {index} out of range for variable {variable!r}")
+        return index
+    text = str(value)
+    if text not in names:
+        raise LearningError(
+            f"unknown state {value!r} for variable {variable!r}; "
+            f"known states: {names}")
+    return names.index(text)

@@ -1,0 +1,220 @@
+"""The Bayesian belief network itself.
+
+A :class:`BayesianNetwork` couples a directed acyclic graph (the structure
+model of Section III-A.1) with one :class:`~repro.bayesnet.cpd.TabularCPD`
+per node (the parameter model of Section III-A.2).  It validates that the
+two are mutually consistent and offers the joint-probability and
+factor-export primitives on which inference and learning are built.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.bayesnet.cpd import TabularCPD, uniform_cpd
+from repro.bayesnet.factor import DiscreteFactor, factor_product
+from repro.bayesnet.graph import DirectedGraph
+from repro.exceptions import NetworkError
+
+
+class BayesianNetwork:
+    """A discrete Bayesian belief network.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(parent, child)`` pairs describing the DAG.
+    nodes:
+        Optional additional (possibly isolated) nodes.
+    """
+
+    def __init__(self, edges: Iterable[tuple[str, str]] | None = None,
+                 nodes: Iterable[str] | None = None) -> None:
+        self.graph = DirectedGraph(edges=edges, nodes=nodes)
+        self._cpds: dict[str, TabularCPD] = {}
+
+    # ----------------------------------------------------------------- graph
+    @property
+    def nodes(self) -> list[str]:
+        """All node names."""
+        return self.graph.nodes
+
+    @property
+    def edges(self) -> list[tuple[str, str]]:
+        """All ``(parent, child)`` edges."""
+        return self.graph.edges
+
+    def add_node(self, node: str) -> None:
+        """Add an isolated node."""
+        self.graph.add_node(node)
+
+    def add_edge(self, parent: str, child: str) -> None:
+        """Add a dependency arc ``parent -> child``."""
+        self.graph.add_edge(parent, child)
+
+    def parents(self, node: str) -> list[str]:
+        """Return the parents of ``node``."""
+        return self.graph.parents(node)
+
+    def children(self, node: str) -> list[str]:
+        """Return the children of ``node``."""
+        return self.graph.children(node)
+
+    # ------------------------------------------------------------------ CPDs
+    def add_cpd(self, cpd: TabularCPD) -> None:
+        """Attach ``cpd`` to its variable.
+
+        The CPD's parent list must match the node's parents in the graph
+        (order included — the column enumeration depends on it).
+        """
+        if cpd.variable not in self.graph:
+            raise NetworkError(f"node {cpd.variable!r} is not in the network")
+        graph_parents = self.graph.parents(cpd.variable)
+        if sorted(cpd.parents) != sorted(graph_parents):
+            raise NetworkError(
+                f"CPD for {cpd.variable!r} lists parents {cpd.parents} but the "
+                f"graph has parents {graph_parents}")
+        self._cpds[cpd.variable] = cpd
+
+    def add_cpds(self, *cpds: TabularCPD) -> None:
+        """Attach several CPDs at once."""
+        for cpd in cpds:
+            self.add_cpd(cpd)
+
+    def get_cpd(self, node: str) -> TabularCPD:
+        """Return the CPD attached to ``node``."""
+        if node not in self._cpds:
+            raise NetworkError(f"no CPD attached to node {node!r}")
+        return self._cpds[node]
+
+    @property
+    def cpds(self) -> list[TabularCPD]:
+        """All attached CPDs."""
+        return list(self._cpds.values())
+
+    def cardinality(self, node: str) -> int:
+        """Return the number of states of ``node`` (requires its CPD)."""
+        return self.get_cpd(node).cardinality
+
+    def state_names(self, node: str) -> list[str]:
+        """Return the state names of ``node`` (requires its CPD)."""
+        return list(self.get_cpd(node).state_names[node])
+
+    def check_model(self) -> bool:
+        """Validate that every node has a consistent CPD.
+
+        Returns ``True`` on success, raises :class:`NetworkError` otherwise.
+        Consistency means: a CPD exists for every node, its parent list
+        matches the graph, and the cardinalities/state names used for a
+        variable agree across every CPD that mentions it.
+        """
+        seen_cards: dict[str, int] = {}
+        seen_states: dict[str, list[str]] = {}
+        for node in self.graph.nodes:
+            if node not in self._cpds:
+                raise NetworkError(f"node {node!r} has no CPD")
+            cpd = self._cpds[node]
+            graph_parents = self.graph.parents(node)
+            if sorted(cpd.parents) != sorted(graph_parents):
+                raise NetworkError(
+                    f"CPD parents {cpd.parents} for node {node!r} do not match "
+                    f"graph parents {graph_parents}")
+            mentioned = [(cpd.variable, cpd.cardinality)] + list(
+                zip(cpd.parents, cpd.parent_cardinalities))
+            for name, card in mentioned:
+                if name in seen_cards and seen_cards[name] != card:
+                    raise NetworkError(
+                        f"variable {name!r} has inconsistent cardinalities: "
+                        f"{seen_cards[name]} vs {card}")
+                seen_cards[name] = card
+                states = cpd.state_names[name]
+                if name in seen_states and seen_states[name] != states:
+                    raise NetworkError(
+                        f"variable {name!r} has inconsistent state names")
+                seen_states[name] = states
+        return True
+
+    # ------------------------------------------------------------- factorised
+    def to_factors(self) -> list[DiscreteFactor]:
+        """Return one factor per CPD (the factorised joint distribution)."""
+        self.check_model()
+        return [cpd.to_factor() for cpd in self._cpds.values()]
+
+    def joint_probability(self, assignment: Mapping[str, str | int]) -> float:
+        """Return the joint probability of a full assignment of all nodes."""
+        self.check_model()
+        probability = 1.0
+        for node in self.graph.nodes:
+            cpd = self._cpds[node]
+            parent_assignment = {p: assignment[p] for p in cpd.parents}
+            probability *= cpd.probability(assignment[node], parent_assignment)
+        return probability
+
+    def joint_distribution(self) -> DiscreteFactor:
+        """Return the full joint distribution as one (possibly large) factor.
+
+        Only sensible for small networks (used in tests to cross-check the
+        inference engines against brute force).
+        """
+        self.check_model()
+        return factor_product(self.to_factors()).normalize()
+
+    # ---------------------------------------------------------------- utility
+    def copy(self) -> "BayesianNetwork":
+        """Return an independent copy of the network (structure and CPDs)."""
+        clone = BayesianNetwork(nodes=self.graph.nodes)
+        for parent, child in self.graph.edges:
+            clone.add_edge(parent, child)
+        for cpd in self._cpds.values():
+            clone.add_cpd(cpd.copy())
+        return clone
+
+    def with_uniform_cpds(self, cardinalities: Mapping[str, int],
+                          state_names: Mapping[str, Sequence[str]] | None = None
+                          ) -> "BayesianNetwork":
+        """Return a copy of the structure with uniform CPDs attached.
+
+        Convenience used as the "no prior knowledge" starting point for
+        parameter learning.
+        """
+        state_names = dict(state_names or {})
+        clone = BayesianNetwork(nodes=self.graph.nodes)
+        for parent, child in self.graph.edges:
+            clone.add_edge(parent, child)
+        for node in clone.nodes:
+            parents = clone.parents(node)
+            names = {node: state_names.get(node,
+                                           [str(i) for i in range(cardinalities[node])])}
+            for parent in parents:
+                names[parent] = state_names.get(
+                    parent, [str(i) for i in range(cardinalities[parent])])
+            clone.add_cpd(uniform_cpd(node, cardinalities[node], parents,
+                                      [cardinalities[p] for p in parents], names))
+        return clone
+
+    def markov_blanket(self, node: str) -> set[str]:
+        """Return the Markov blanket of ``node`` (parents, children, co-parents)."""
+        blanket: set[str] = set(self.graph.parents(node))
+        for child in self.graph.children(node):
+            blanket.add(child)
+            blanket.update(self.graph.parents(child))
+        blanket.discard(node)
+        return blanket
+
+    def log_likelihood(self, cases: Sequence[Mapping[str, str | int]]) -> float:
+        """Return the log-likelihood of fully observed ``cases`` under the model."""
+        self.check_model()
+        total = 0.0
+        for case in cases:
+            probability = self.joint_probability(case)
+            if probability <= 0:
+                total += -np.inf
+            else:
+                total += float(np.log(probability))
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BayesianNetwork(nodes={len(self.graph.nodes)}, "
+                f"edges={len(self.graph.edges)}, cpds={len(self._cpds)})")

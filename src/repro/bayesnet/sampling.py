@@ -1,0 +1,118 @@
+"""Forward and rejection sampling from a Bayesian network.
+
+Forward sampling is used throughout the test suite (to generate ground-truth
+data with known parameters) and by the benchmark harness to create synthetic
+failed-device populations when the behavioural circuit simulator is not
+involved.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.bayesnet.network import BayesianNetwork
+from repro.exceptions import InferenceError
+from repro.utils.rng import ensure_rng
+
+
+class ForwardSampler:
+    """Ancestral (forward) sampler for a discrete Bayesian network.
+
+    Parameters
+    ----------
+    network:
+        A fully specified network.
+    seed:
+        Seed or generator for reproducible sampling.
+    """
+
+    def __init__(self, network: BayesianNetwork,
+                 seed: int | np.random.Generator | None = None) -> None:
+        network.check_model()
+        self.network = network
+        self._rng = ensure_rng(seed)
+        self._order = network.graph.topological_sort()
+
+    def sample_one(self, *, as_names: bool = True) -> dict[str, str | int]:
+        """Draw a single full assignment of all network variables."""
+        assignment: dict[str, int] = {}
+        for node in self._order:
+            cpd = self.network.get_cpd(node)
+            column = cpd.parent_configuration_index(
+                {p: assignment[p] for p in cpd.parents})
+            distribution = cpd.table[:, column]
+            assignment[node] = int(self._rng.choice(len(distribution), p=distribution))
+        if not as_names:
+            return dict(assignment)
+        return {node: self.network.state_names(node)[index]
+                for node, index in assignment.items()}
+
+    def sample(self, count: int, *, as_names: bool = True
+               ) -> list[dict[str, str | int]]:
+        """Draw ``count`` independent full assignments."""
+        if count < 0:
+            raise InferenceError("sample count must be non-negative")
+        return [self.sample_one(as_names=as_names) for _ in range(count)]
+
+    def rejection_sample(self, count: int, evidence: Mapping[str, str | int],
+                         *, as_names: bool = True, max_attempts: int = 1_000_000
+                         ) -> list[dict[str, str | int]]:
+        """Draw ``count`` samples consistent with ``evidence`` by rejection.
+
+        Raises
+        ------
+        InferenceError
+            If ``max_attempts`` forward samples do not yield enough accepted
+            samples (evidence too unlikely for rejection sampling).
+        """
+        evidence = dict(evidence)
+        accepted: list[dict[str, str | int]] = []
+        attempts = 0
+        while len(accepted) < count and attempts < max_attempts:
+            attempts += 1
+            sample = self.sample_one(as_names=True)
+            if all(str(sample[variable]) == str(self._as_name(variable, state))
+                   for variable, state in evidence.items()):
+                accepted.append(sample if as_names else self._to_indices(sample))
+        if len(accepted) < count:
+            raise InferenceError(
+                f"rejection sampling accepted only {len(accepted)} of {count} "
+                f"requested samples after {max_attempts} attempts")
+        return accepted
+
+    def _as_name(self, variable: str, state: str | int) -> str:
+        if isinstance(state, (int, np.integer)):
+            return self.network.state_names(variable)[int(state)]
+        return str(state)
+
+    def _to_indices(self, sample: Mapping[str, str]) -> dict[str, int]:
+        return {variable: self.network.state_names(variable).index(str(state))
+                for variable, state in sample.items()}
+
+
+def sample_dataset(network: BayesianNetwork, count: int,
+                   seed: int | np.random.Generator | None = None,
+                   missing_fraction: float = 0.0,
+                   missing_value: object = None) -> list[dict[str, object]]:
+    """Sample ``count`` cases, optionally hiding a fraction of the entries.
+
+    A hidden entry is replaced by ``missing_value`` (``None`` by default),
+    which is the convention the EM learner and the Dlog2BBN case generator
+    use for "block state unknown for this device".
+    """
+    if not 0.0 <= missing_fraction <= 1.0:
+        raise InferenceError("missing_fraction must be in [0, 1]")
+    rng = ensure_rng(seed)
+    sampler = ForwardSampler(network, seed=rng)
+    cases: list[dict[str, object]] = []
+    for sample in sampler.sample(count):
+        case: dict[str, object] = {}
+        for variable, state in sample.items():
+            if missing_fraction > 0.0 and rng.random() < missing_fraction:
+                case[variable] = missing_value
+            else:
+                case[variable] = state
+        cases.append(case)
+    return cases

@@ -1,0 +1,339 @@
+"""Behavioural block primitives.
+
+Every functional block of an analogue circuit is modelled at the behavioural
+level: a block reads the DC voltages of its input nets, applies its transfer
+behaviour (possibly degraded by an injected fault and by process variation)
+and drives its output net.  The behavioural level is deliberate — the paper's
+block-level diagnosis only ever sees *functional* (specification) test data,
+never transistor-level waveforms, so a DC block-level model exercises the
+same code path as the authors' silicon.
+
+All blocks share the :class:`BehaviouralBlock` interface:
+
+``evaluate(inputs, health)``
+    map input net voltages to the block's output voltage, where ``health``
+    scales/overrides the behaviour according to the injected fault.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping, Sequence
+
+from repro.exceptions import CircuitError
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockHealth:
+    """The health of a block during one simulation.
+
+    Attributes
+    ----------
+    healthy:
+        ``True`` for a defect-free block.
+    mode:
+        Name of the fault mode when not healthy (``"dead"``, ``"stuck_high"``,
+        ``"degraded"``, ``"short_to_supply"``, ``"drift"``).
+    severity:
+        Fault severity in ``[0, 1]``; used by the ``degraded`` and ``drift``
+        modes to scale the output error.
+    """
+
+    healthy: bool = True
+    mode: str = "none"
+    severity: float = 1.0
+
+
+HEALTHY = BlockHealth()
+
+
+class BehaviouralBlock:
+    """Base class for behavioural blocks.
+
+    Parameters
+    ----------
+    name:
+        Unique block name (the model-variable name used by the BBN).
+    inputs:
+        Names of the nets the block reads.
+    vmax:
+        The maximum voltage the block can ever drive (used by the
+        ``stuck_high`` and ``short_to_supply`` fault modes).
+    """
+
+    def __init__(self, name: str, inputs: Sequence[str] = (), vmax: float = 40.0) -> None:
+        if not name:
+            raise CircuitError("block name must be non-empty")
+        self.name = name
+        self.inputs = list(inputs)
+        self.vmax = float(vmax)
+
+    # ------------------------------------------------------------------ faults
+    def _apply_fault(self, nominal: float, inputs: Mapping[str, float],
+                     health: BlockHealth) -> float:
+        """Transform the nominal output according to the block's health."""
+        if health.healthy:
+            return nominal
+        if health.mode == "dead":
+            return 0.0
+        if health.mode == "stuck_high":
+            return self.vmax
+        if health.mode == "short_to_supply":
+            supply = max((inputs.get(net, 0.0) for net in self.inputs), default=self.vmax)
+            return max(supply, nominal)
+        if health.mode == "degraded":
+            return nominal * max(0.0, 1.0 - 0.7 * health.severity)
+        if health.mode == "drift":
+            return nominal * (1.0 + 0.5 * health.severity)
+        raise CircuitError(f"unknown fault mode {health.mode!r} on block {self.name!r}")
+
+    # --------------------------------------------------------------- behaviour
+    def nominal_output(self, inputs: Mapping[str, float]) -> float:
+        """Return the defect-free output voltage for the given input voltages."""
+        raise NotImplementedError
+
+    def evaluate(self, inputs: Mapping[str, float],
+                 health: BlockHealth = HEALTHY) -> float:
+        """Return the block's output voltage under ``health``."""
+        for net in self.inputs:
+            if net not in inputs:
+                raise CircuitError(
+                    f"block {self.name!r} is missing input net {net!r}")
+        nominal = self.nominal_output(inputs)
+        return float(min(max(self._apply_fault(nominal, inputs, health), -1.0),
+                         self.vmax))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, inputs={self.inputs})"
+
+
+class SupplyInput(BehaviouralBlock):
+    """A controllable supply input (e.g. the battery rails ``vp1``/``vp2``).
+
+    The output simply reproduces the externally forced voltage; faults do not
+    apply because the ATE drives the net.
+    """
+
+    def __init__(self, name: str, default: float = 0.0, vmax: float = 40.0) -> None:
+        super().__init__(name, inputs=[], vmax=vmax)
+        self.default = float(default)
+
+    def nominal_output(self, inputs: Mapping[str, float]) -> float:
+        return float(inputs.get(self.name, self.default))
+
+    def evaluate(self, inputs: Mapping[str, float],
+                 health: BlockHealth = HEALTHY) -> float:
+        # Controllable nets are forced by the tester; health is ignored.
+        return float(min(max(self.nominal_output(inputs), -1.0), self.vmax))
+
+
+class PinInput(SupplyInput):
+    """A controllable digital/analogue pin (e.g. the ``enbx`` enable pins)."""
+
+    def __init__(self, name: str, default: float = 0.0, vmax: float = 40.0) -> None:
+        super().__init__(name, default=default, vmax=vmax)
+
+
+class BandgapReference(BehaviouralBlock):
+    """A bandgap voltage reference.
+
+    Produces a ``reference`` output (typically 1.2 V) once its supply exceeds
+    the start-up headroom and, optionally, once an enable net is active.
+    """
+
+    def __init__(self, name: str, supply: str, enable: str | None = None,
+                 reference: float = 1.2, headroom: float = 3.0,
+                 enable_threshold: float = 2.5, vmax: float = 40.0) -> None:
+        inputs = [supply] + ([enable] if enable else [])
+        super().__init__(name, inputs=inputs, vmax=vmax)
+        self.supply = supply
+        self.enable = enable
+        self.reference = float(reference)
+        self.headroom = float(headroom)
+        self.enable_threshold = float(enable_threshold)
+
+    def nominal_output(self, inputs: Mapping[str, float]) -> float:
+        if inputs[self.supply] < self.headroom:
+            return 0.05 * inputs[self.supply]
+        if self.enable is not None and inputs[self.enable] < self.enable_threshold:
+            return 0.1
+        return self.reference
+
+
+class OrNode(BehaviouralBlock):
+    """An analogue OR of several pins (the paper's ``vx`` model variable).
+
+    Output follows the highest input pin voltage; it is "good" when at least
+    one enable pin is driven to a valid level.
+    """
+
+    def __init__(self, name: str, pins: Sequence[str], vmax: float = 40.0) -> None:
+        if not pins:
+            raise CircuitError(f"OrNode {name!r} requires at least one pin")
+        super().__init__(name, inputs=list(pins), vmax=vmax)
+
+    def nominal_output(self, inputs: Mapping[str, float]) -> float:
+        return max(inputs[pin] for pin in self.inputs)
+
+
+class EnableSense(BehaviouralBlock):
+    """Enable-sensing logic (the paper's ``enblSen``).
+
+    Goes active (drives ``active_level``) when the OR-ed enable net is high
+    enough and the low-current bandgap reference is within its nominal
+    window.
+    """
+
+    def __init__(self, name: str, or_net: str, reference_net: str,
+                 active_level: float = 3.3, or_threshold: float = 1.1,
+                 reference_window: tuple[float, float] = (1.05, 1.35),
+                 vmax: float = 40.0) -> None:
+        super().__init__(name, inputs=[or_net, reference_net], vmax=vmax)
+        self.or_net = or_net
+        self.reference_net = reference_net
+        self.active_level = float(active_level)
+        self.or_threshold = float(or_threshold)
+        self.reference_window = (float(reference_window[0]), float(reference_window[1]))
+
+    def nominal_output(self, inputs: Mapping[str, float]) -> float:
+        low, high = self.reference_window
+        reference_ok = low <= inputs[self.reference_net] <= high
+        if inputs[self.or_net] >= self.or_threshold and reference_ok:
+            return self.active_level
+        return 0.1
+
+
+class SupplyMonitor(BehaviouralBlock):
+    """Supply/reference monitor (the paper's ``warnvpst``).
+
+    Asserts its output ("on") when the monitored supply rail has enough
+    headroom and both bandgap references are good, indicating the chip's
+    internal supplies are trustworthy; otherwise the warning output stays low
+    ("off") and the downstream enable gates are held inactive.
+    """
+
+    def __init__(self, name: str, primary_reference: str, secondary_reference: str,
+                 supply: str | None = None, supply_threshold: float = 7.0,
+                 on_level: float = 5.0,
+                 primary_window: tuple[float, float] = (1.05, 1.35),
+                 secondary_threshold: float = 1.1, vmax: float = 40.0) -> None:
+        inputs = [primary_reference, secondary_reference] + ([supply] if supply else [])
+        super().__init__(name, inputs=inputs, vmax=vmax)
+        self.primary_reference = primary_reference
+        self.secondary_reference = secondary_reference
+        self.supply = supply
+        self.supply_threshold = float(supply_threshold)
+        self.on_level = float(on_level)
+        self.primary_window = (float(primary_window[0]), float(primary_window[1]))
+        self.secondary_threshold = float(secondary_threshold)
+
+    def nominal_output(self, inputs: Mapping[str, float]) -> float:
+        low, high = self.primary_window
+        primary_ok = low <= inputs[self.primary_reference] <= high
+        secondary_ok = inputs[self.secondary_reference] >= self.secondary_threshold
+        supply_ok = (self.supply is None
+                     or inputs[self.supply] >= self.supply_threshold)
+        if primary_ok and secondary_ok and supply_ok:
+            return self.on_level
+        return 0.1
+
+
+class EnableGate(BehaviouralBlock):
+    """Internal enable gate (the paper's ``enb13``/``enb4``/``enbsw``).
+
+    Passes the external enable-pin request through only when the supply
+    monitor has asserted its "on" output.
+    """
+
+    def __init__(self, name: str, pin: str, monitor: str,
+                 active_level: float = 5.0,
+                 pin_windows: Sequence[tuple[float, float]] = ((0.4, 2.4), (2.4, 40.0)),
+                 monitor_threshold: float = 2.5, vmax: float = 40.0) -> None:
+        super().__init__(name, inputs=[pin, monitor], vmax=vmax)
+        self.pin = pin
+        self.monitor = monitor
+        self.active_level = float(active_level)
+        self.pin_windows = [(float(low), float(high)) for low, high in pin_windows]
+        self.monitor_threshold = float(monitor_threshold)
+
+    def _pin_request_valid(self, voltage: float) -> bool:
+        return any(low <= voltage <= high for low, high in self.pin_windows)
+
+    def nominal_output(self, inputs: Mapping[str, float]) -> float:
+        if not self._pin_request_valid(inputs[self.pin]):
+            return 0.1
+        if inputs[self.monitor] < self.monitor_threshold:
+            return 0.1
+        return self.active_level
+
+
+class LinearRegulator(BehaviouralBlock):
+    """A linear voltage regulator output (the paper's ``reg1``–``reg4``).
+
+    Regulates to ``target`` when the supply has enough headroom, the bandgap
+    reference is good and (optionally) the enable gate is active; collapses
+    towards zero when disabled or without a reference.  The regulation loop
+    multiplies the reference by a fixed resistor ratio, so a drifted
+    reference drags the output out of regulation proportionally — an
+    out-of-window reference can never produce an in-regulation output.
+    """
+
+    def __init__(self, name: str, supply: str, reference: str,
+                 enable: str | None, target: float,
+                 dropout: float = 1.0, reference_threshold: float = 0.2,
+                 nominal_reference: float = 1.2,
+                 enable_threshold: float = 2.5, vmax: float = 40.0) -> None:
+        inputs = [supply, reference] + ([enable] if enable else [])
+        super().__init__(name, inputs=inputs, vmax=vmax)
+        self.supply = supply
+        self.reference = reference
+        self.enable = enable
+        self.target = float(target)
+        self.dropout = float(dropout)
+        self.reference_threshold = float(reference_threshold)
+        self.nominal_reference = float(nominal_reference)
+        self.enable_threshold = float(enable_threshold)
+
+    def nominal_output(self, inputs: Mapping[str, float]) -> float:
+        if self.enable is not None and inputs[self.enable] < self.enable_threshold:
+            return 0.05
+        reference = inputs[self.reference]
+        if reference < self.reference_threshold:
+            return 0.05
+        # The output tracks the reference through the feedback divider.
+        regulated = self.target * (reference / self.nominal_reference)
+        supply = inputs[self.supply]
+        if supply < regulated + self.dropout:
+            # Low supply: the output follows the supply minus the dropout.
+            return max(0.0, supply - self.dropout)
+        return regulated
+
+
+class PowerSwitch(BehaviouralBlock):
+    """The built-in power switch (the paper's ``sw``).
+
+    Connects the battery rail to the output when enabled and the ignition
+    sense is in its "on" window; clamps the output when the battery exceeds
+    the clamp level.
+    """
+
+    def __init__(self, name: str, supply: str, ignition: str, enable: str,
+                 drop: float = 0.7, clamp_level: float = 14.5,
+                 ignition_on_threshold: float = 6.5,
+                 enable_threshold: float = 2.5, vmax: float = 40.0) -> None:
+        super().__init__(name, inputs=[supply, ignition, enable], vmax=vmax)
+        self.supply = supply
+        self.ignition = ignition
+        self.enable = enable
+        self.drop = float(drop)
+        self.clamp_level = float(clamp_level)
+        self.ignition_on_threshold = float(ignition_on_threshold)
+        self.enable_threshold = float(enable_threshold)
+
+    def nominal_output(self, inputs: Mapping[str, float]) -> float:
+        if inputs[self.enable] < self.enable_threshold:
+            return 0.05
+        if inputs[self.ignition] < self.ignition_on_threshold:
+            return 0.05
+        output = inputs[self.supply] - self.drop
+        return min(output, self.clamp_level)

@@ -1,0 +1,110 @@
+"""Block-level netlists.
+
+A :class:`BlockNetlist` is the structural description of an analogue circuit
+at the functional-block level: named blocks, the nets they drive and the nets
+they read.  The netlist provides the evaluation order for the behavioural
+solver and the dependency arcs for BBN structure modelling.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.circuits.components import BehaviouralBlock
+from repro.exceptions import CircuitError
+from repro.bayesnet.graph import DirectedGraph
+
+
+class BlockNetlist:
+    """A collection of behavioural blocks wired block-output to block-input.
+
+    Every block drives exactly one net named after the block itself, which is
+    the convention the paper uses (the model variable ``reg1`` *is* the
+    output of the reg1 block).
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise CircuitError("netlist name must be non-empty")
+        self.name = name
+        self._blocks: dict[str, BehaviouralBlock] = {}
+
+    # ------------------------------------------------------------------ blocks
+    def add_block(self, block: BehaviouralBlock) -> None:
+        """Add ``block``; its output net takes the block's name."""
+        if block.name in self._blocks:
+            raise CircuitError(f"duplicate block name {block.name!r}")
+        self._blocks[block.name] = block
+
+    def add_blocks(self, blocks: Iterable[BehaviouralBlock]) -> None:
+        """Add several blocks at once."""
+        for block in blocks:
+            self.add_block(block)
+
+    def block(self, name: str) -> BehaviouralBlock:
+        """Return the block called ``name``."""
+        if name not in self._blocks:
+            raise CircuitError(f"no block named {name!r} in netlist {self.name!r}")
+        return self._blocks[name]
+
+    @property
+    def block_names(self) -> list[str]:
+        """All block names in insertion order."""
+        return list(self._blocks)
+
+    @property
+    def blocks(self) -> list[BehaviouralBlock]:
+        """All blocks in insertion order."""
+        return list(self._blocks.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    # ------------------------------------------------------------ connectivity
+    def validate(self) -> None:
+        """Check that every block input is driven by some block in the netlist."""
+        for block in self._blocks.values():
+            for net in block.inputs:
+                if net not in self._blocks:
+                    raise CircuitError(
+                        f"block {block.name!r} reads net {net!r} which no "
+                        f"block in netlist {self.name!r} drives")
+        # Ensure the dependency graph is acyclic (DirectedGraph enforces it).
+        self.dependency_graph()
+
+    def dependency_graph(self) -> DirectedGraph:
+        """Return the DAG of block dependencies (driver -> reader)."""
+        graph = DirectedGraph(nodes=self.block_names)
+        for block in self._blocks.values():
+            for net in block.inputs:
+                if net in self._blocks:
+                    graph.add_edge(net, block.name)
+        return graph
+
+    def evaluation_order(self) -> list[str]:
+        """Return a drivers-before-readers evaluation order."""
+        return self.dependency_graph().topological_sort()
+
+    def drivers_of(self, name: str) -> list[str]:
+        """Return the blocks whose outputs block ``name`` reads."""
+        return list(self.block(name).inputs)
+
+    def readers_of(self, name: str) -> list[str]:
+        """Return the blocks that read the output of block ``name``."""
+        self.block(name)
+        return [block.name for block in self._blocks.values()
+                if name in block.inputs]
+
+    def primary_inputs(self) -> list[str]:
+        """Return blocks with no drivers (controllable sources and pins)."""
+        return [name for name, block in self._blocks.items() if not block.inputs]
+
+    def primary_outputs(self) -> list[str]:
+        """Return blocks whose output no other block reads."""
+        return [name for name in self._blocks if not self.readers_of(name)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BlockNetlist(name={self.name!r}, blocks={len(self._blocks)})"

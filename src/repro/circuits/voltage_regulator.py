@@ -1,0 +1,408 @@
+"""The industrial multiple-output automotive voltage regulator (Fig. 2 / Fig. 3).
+
+The paper's case study is a multiple-output voltage regulator with a built-in
+power switch and ignition buffer, fabricated in a complementary bipolar
+process, featuring reverse-polarity protection and low quiescent current.
+Table V lists its 19 BBN model variables and Fig. 3 the structural
+dependencies among them.
+
+The state definitions below are copied from Table VII (state labels, lower
+and upper voltage limits, remarks).  The dependency arcs reproduce Fig. 3 as
+far as the paper describes it explicitly (warnvpst has parents lcbg and hcbg;
+lcbg, enblSen and hcbg form a dependency loop; the enable gates derive from
+their pins and warnvpst; each regulator output depends on its supply,
+reference and enable) — the exact arc list is documented here because the
+original figure is not machine-readable.
+
+Naming note: the paper uses "enb13 pin" / "enb13" for the external pin and
+the internal enable signal respectively; this module uses ``enb13_pin`` /
+``enb13`` (and likewise for ``enb4`` and ``enbsw``), and ``vp1x`` for the
+ignition-sense variable printed as both "vp1x" and "vpx" in the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuits.components import (
+    BandgapReference,
+    EnableGate,
+    EnableSense,
+    LinearRegulator,
+    OrNode,
+    PinInput,
+    PowerSwitch,
+    SupplyInput,
+    SupplyMonitor,
+)
+from repro.circuits.faults import FaultMode, FaultUniverse
+from repro.circuits.netlist import BlockNetlist
+from repro.circuits.process_variation import ProcessVariation
+from repro.core.blocks import BlockType, ModelVariable
+from repro.core.circuit_model import CircuitModelDescription
+from repro.core.states import StateDefinition, StateTable
+
+#: The 19 model variables of Table V: name -> (circuit reference, type).
+VOLTAGE_REGULATOR_BLOCKS: dict[str, tuple[str | None, BlockType]] = {
+    "vp1": ("1", BlockType.CONTROL),
+    "vp1x": ("1", BlockType.CONTROL),
+    "vp2": ("2", BlockType.CONTROL),
+    "enb13_pin": ("3", BlockType.CONTROL),
+    "enb4_pin": ("4", BlockType.CONTROL),
+    "enbsw_pin": ("5", BlockType.CONTROL),
+    "sw": ("6", BlockType.OBSERVE),
+    "reg1": ("7", BlockType.OBSERVE),
+    "reg2": ("8", BlockType.OBSERVE),
+    "reg3": ("9", BlockType.OBSERVE),
+    "reg4": ("10", BlockType.OBSERVE),
+    "enbsw": ("11", BlockType.INTERNAL),
+    "lcbg": ("12", BlockType.INTERNAL),
+    "warnvpst": ("13", BlockType.INTERNAL),
+    "enblSen": ("14", BlockType.INTERNAL),
+    "vx": (None, BlockType.INTERNAL),
+    "hcbg": (None, BlockType.INTERNAL),
+    "enb4": ("15", BlockType.INTERNAL),
+    "enb13": ("16", BlockType.INTERNAL),
+}
+
+#: The Fig. 3 dependency arcs (parent -> child), as reconstructed from the
+#: paper's description of the diagnostic case studies.
+VOLTAGE_REGULATOR_DEPENDENCIES: list[tuple[str, str]] = [
+    # Low-current bandgap runs straight off the battery rail.
+    ("vp1", "lcbg"),
+    # vx is the OR of the three external enable pins.
+    ("enb13_pin", "vx"),
+    ("enb4_pin", "vx"),
+    ("enbsw_pin", "vx"),
+    # The enable-sense block needs the OR-ed enables and the low-current
+    # bandgap; the high-current bandgap needs the enable sense and the
+    # battery rail (lcbg -> enblSen -> hcbg is the "loop" of case d4).
+    ("vx", "enblSen"),
+    ("lcbg", "enblSen"),
+    ("enblSen", "hcbg"),
+    ("vp1", "hcbg"),
+    # The supply monitor watches the battery rail and both bandgaps
+    # (case d1: internal parents lcbg, hcbg; the vp-status part of its name
+    # means the warning also trips on a sagging supply).
+    ("vp1", "warnvpst"),
+    ("lcbg", "warnvpst"),
+    ("hcbg", "warnvpst"),
+    # Internal enables gate the pin requests with the monitor.
+    ("enb13_pin", "enb13"),
+    ("warnvpst", "enb13"),
+    ("enb4_pin", "enb4"),
+    ("warnvpst", "enb4"),
+    ("enbsw_pin", "enbsw"),
+    ("warnvpst", "enbsw"),
+    # Regulator outputs: supply, reference and enable.
+    ("vp1", "reg1"),
+    ("hcbg", "reg1"),
+    ("enb13", "reg1"),
+    ("vp2", "reg2"),
+    ("lcbg", "reg2"),
+    ("vp2", "reg3"),
+    ("hcbg", "reg3"),
+    ("enb13", "reg3"),
+    ("vp2", "reg4"),
+    ("hcbg", "reg4"),
+    ("enb4", "reg4"),
+    # Power switch: battery rail, ignition sense and its enable.
+    ("vp1", "sw"),
+    ("vp1x", "sw"),
+    ("enbsw", "sw"),
+]
+
+
+def _state_tables() -> list[StateTable]:
+    """Return the Table VII state definitions for all 19 model variables."""
+    return [
+        StateTable("vp1", [
+            StateDefinition("0", 0.0, 4.0, "low level"),
+            StateDefinition("1", 4.0, 7.5, "intermediate level"),
+            StateDefinition("2", 7.5, 14.4, "nominal level"),
+            StateDefinition("3", 14.4, 100.0, "loaddump level"),
+        ]),
+        StateTable("vp1x", [
+            StateDefinition("0", 0.0, 4.0, "bad state"),
+            StateDefinition("1", 4.0, 5.0, "off state"),
+            StateDefinition("2", 5.0, 6.5, "off-up/on-down"),
+            StateDefinition("3", 6.5, 7.5, "on state"),
+            StateDefinition("4", 7.5, 100.0, "on state"),
+        ]),
+        StateTable("vp2", [
+            StateDefinition("0", 0.0, 3.5, "low level"),
+            StateDefinition("1", 4.75, 6.0, "intermediate level"),
+            StateDefinition("2", 6.0, 14.4, "nominal level"),
+            StateDefinition("3", 14.4, 100.0, "loaddump level"),
+        ]),
+        StateTable("enb13_pin", [
+            StateDefinition("0", 0.9, 1.9, "bad state"),
+            StateDefinition("1", 0.4, 2.4, "good state"),
+            StateDefinition("2", 0.0, 0.9, "bad state"),
+            StateDefinition("3", 2.4, 100.0, "good state"),
+            StateDefinition("4", 0.0, 0.0, "ground"),
+        ]),
+        StateTable("enb4_pin", [
+            StateDefinition("0", 0.9, 1.9, "bad state"),
+            StateDefinition("1", 0.4, 2.4, "good state"),
+            StateDefinition("2", 0.0, 0.9, "bad state"),
+            StateDefinition("3", 2.4, 100.0, "good state"),
+            StateDefinition("4", 0.0, 0.0, "ground"),
+        ]),
+        StateTable("enbsw_pin", [
+            StateDefinition("0", 0.9, 1.9, "bad state"),
+            StateDefinition("1", 0.4, 2.4, "good state"),
+            StateDefinition("2", 0.0, 0.9, "bad state"),
+            StateDefinition("3", 2.4, 100.0, "good state"),
+            StateDefinition("4", 0.0, 0.0, "ground"),
+        ]),
+        StateTable("sw", [
+            StateDefinition("0", 0.0, 8.0, "short circuit"),
+            StateDefinition("1", 8.0, 13.5, "normal mode"),
+            StateDefinition("2", 13.5, 16.0, "clamp level"),
+            StateDefinition("3", 16.0, 100.0, "others"),
+        ]),
+        StateTable("reg1", [
+            StateDefinition("0", 0.0, 8.0, "switch off/defect"),
+            StateDefinition("1", 8.0, 9.0, "in regulation"),
+            StateDefinition("2", 9.0, 500.0, "out of regulation"),
+            StateDefinition("3", -1.0e-7, -1.0e-3, "negative voltage"),
+        ]),
+        StateTable("reg2", [
+            StateDefinition("0", 0.0, 4.75, "out of regulation"),
+            StateDefinition("1", 4.75, 5.25, "in regulation"),
+            StateDefinition("2", 5.25, 500.0, "out of regulation"),
+            StateDefinition("3", -1.0e-7, -1.0e-3, "negative voltage"),
+        ]),
+        StateTable("reg3", [
+            StateDefinition("0", 0.0, 4.75, "out of regulation"),
+            StateDefinition("1", 4.75, 5.25, "in regulation"),
+            StateDefinition("2", 5.25, 500.0, "out of regulation"),
+            StateDefinition("3", -1.0e-7, -1.0e-3, "negative voltage"),
+        ]),
+        StateTable("reg4", [
+            StateDefinition("0", 0.0, 3.14, "out of regulation"),
+            StateDefinition("1", 3.14, 3.46, "in regulation"),
+            StateDefinition("2", 3.46, 500.0, "out of regulation"),
+            StateDefinition("3", -1.0e-7, -1.0e-3, "negative voltage"),
+        ]),
+        StateTable("lcbg", [
+            StateDefinition("0", 0.0, 1.1, "non operational"),
+            StateDefinition("1", 1.1, 1.3, "nominal operating"),
+            StateDefinition("2", 1.3, 14.4, "non operational"),
+            StateDefinition("3", 14.4, 100.0, "short circuit"),
+        ]),
+        StateTable("enbsw", [
+            StateDefinition("0", 0.0, 2.5, "non-active"),
+            StateDefinition("1", 2.5, 100.0, "active"),
+        ]),
+        StateTable("warnvpst", [
+            StateDefinition("0", 0.0, 2.5, "off"),
+            StateDefinition("1", 2.5, 100.0, "on"),
+        ]),
+        StateTable("enblSen", [
+            StateDefinition("0", 0.0, 2.5, "non-active"),
+            StateDefinition("1", 2.5, 100.0, "active"),
+        ]),
+        StateTable("vx", [
+            StateDefinition("0", 0.0, 1.1, "bad state"),
+            StateDefinition("1", 1.1, 100.0, "good state"),
+        ]),
+        StateTable("hcbg", [
+            StateDefinition("0", 0.0, 1.1, "bad state"),
+            StateDefinition("1", 1.1, 100.0, "good state"),
+        ]),
+        StateTable("enb4", [
+            StateDefinition("0", 0.0, 2.5, "non-active"),
+            StateDefinition("1", 2.5, 100.0, "active"),
+        ]),
+        StateTable("enb13", [
+            StateDefinition("0", 0.0, 2.5, "non-active"),
+            StateDefinition("1", 2.5, 100.0, "active"),
+        ]),
+    ]
+
+
+def _netlist() -> BlockNetlist:
+    """Return the behavioural netlist of the regulator."""
+    netlist = BlockNetlist("voltage_regulator")
+    netlist.add_blocks([
+        # Controllable supplies and pins (forced by the ATE).
+        SupplyInput("vp1", default=13.5),
+        SupplyInput("vp1x", default=13.5),
+        SupplyInput("vp2", default=8.0),
+        PinInput("enb13_pin", default=3.3),
+        PinInput("enb4_pin", default=3.3),
+        PinInput("enbsw_pin", default=3.3),
+        # Internal blocks.
+        BandgapReference("lcbg", supply="vp1", reference=1.2, headroom=3.0),
+        OrNode("vx", pins=["enb13_pin", "enb4_pin", "enbsw_pin"]),
+        EnableSense("enblSen", or_net="vx", reference_net="lcbg",
+                    active_level=3.3),
+        BandgapReference("hcbg", supply="vp1", enable="enblSen",
+                         reference=1.2, headroom=4.5),
+        SupplyMonitor("warnvpst", primary_reference="lcbg",
+                      secondary_reference="hcbg", supply="vp1",
+                      supply_threshold=7.0, on_level=5.0),
+        EnableGate("enb13", pin="enb13_pin", monitor="warnvpst"),
+        EnableGate("enb4", pin="enb4_pin", monitor="warnvpst"),
+        EnableGate("enbsw", pin="enbsw_pin", monitor="warnvpst"),
+        # Observable outputs.
+        LinearRegulator("reg1", supply="vp1", reference="hcbg", enable="enb13",
+                        target=8.5, dropout=1.5),
+        LinearRegulator("reg2", supply="vp2", reference="lcbg", enable=None,
+                        target=5.0, dropout=1.0),
+        LinearRegulator("reg3", supply="vp2", reference="hcbg", enable="enb13",
+                        target=5.0, dropout=1.0),
+        LinearRegulator("reg4", supply="vp2", reference="hcbg", enable="enb4",
+                        target=3.3, dropout=1.0),
+        PowerSwitch("sw", supply="vp1", ignition="vp1x", enable="enbsw",
+                    drop=0.7, clamp_level=14.5),
+    ])
+    netlist.validate()
+    return netlist
+
+
+#: Relative defect likelihood per internal block; power blocks (bandgaps, the
+#: monitor) fail more often in the field than small logic, which mimics the
+#: skew of real customer-return Pareto charts.
+DEFAULT_BLOCK_WEIGHTS: dict[str, float] = {
+    "lcbg": 1.5,
+    "hcbg": 1.5,
+    "warnvpst": 1.2,
+    "enblSen": 0.8,
+    "vx": 0.5,
+    "enb13": 1.0,
+    "enb4": 1.0,
+    "enbsw": 1.0,
+    "reg1": 1.3,
+    "reg2": 1.3,
+    "reg3": 1.3,
+    "reg4": 1.3,
+    "sw": 1.5,
+}
+
+
+@dataclasses.dataclass
+class VoltageRegulatorCircuit:
+    """Bundle of the voltage-regulator representations.
+
+    Attributes
+    ----------
+    netlist:
+        Behavioural netlist for simulation and fault injection.
+    model:
+        The circuit-model description (Table V, Table VII states, Fig. 3 arcs).
+    fault_universe:
+        Faults over every non-controllable block.
+    process_variation:
+        Default process-variation model for population generation.
+    nominal_conditions:
+        The forced levels of the nominal full-circuit functional test.
+    block_weights:
+        Relative defect likelihood per block (used when sampling failed
+        devices).
+    healthy_states:
+        The state label that corresponds to defect-free operation of each
+        model variable (designer knowledge consumed by the prior builder and
+        by candidate deduction).
+    designer_fault_probabilities:
+        Designer estimate of each block's prior defect likelihood, consumed
+        by the behaviour-informed prior builder.
+    """
+
+    netlist: BlockNetlist
+    model: CircuitModelDescription
+    fault_universe: FaultUniverse
+    process_variation: ProcessVariation
+    nominal_conditions: dict[str, float]
+    block_weights: dict[str, float]
+    healthy_states: dict[str, str]
+    designer_fault_probabilities: dict[str, float]
+
+
+def build_voltage_regulator() -> VoltageRegulatorCircuit:
+    """Construct the industrial multiple-output voltage regulator."""
+    variables = [
+        ModelVariable(name, block_type, reference,
+                      description=_DESCRIPTIONS.get(name, ""))
+        for name, (reference, block_type) in VOLTAGE_REGULATOR_BLOCKS.items()
+    ]
+    model = CircuitModelDescription("voltage_regulator", variables,
+                                    _state_tables(),
+                                    VOLTAGE_REGULATOR_DEPENDENCIES)
+    netlist = _netlist()
+    faultable = [name for name, (reference, block_type)
+                 in VOLTAGE_REGULATOR_BLOCKS.items()
+                 if not block_type.is_controllable]
+    fault_universe = FaultUniverse(
+        faultable,
+        modes=(FaultMode.DEAD, FaultMode.STUCK_HIGH, FaultMode.DEGRADED,
+               FaultMode.SHORT_TO_SUPPLY),
+        severities=(1.0, 0.7),
+    )
+    process_variation = ProcessVariation(
+        default_sigma=0.005,
+        per_block_sigma={"lcbg": 0.008, "hcbg": 0.008, "reg1": 0.01,
+                         "reg2": 0.01, "reg3": 0.01, "reg4": 0.01},
+    )
+    nominal_conditions = {
+        "vp1": 13.5, "vp1x": 13.5, "vp2": 8.0,
+        "enb13_pin": 3.3, "enb4_pin": 3.3, "enbsw_pin": 3.3,
+    }
+    return VoltageRegulatorCircuit(
+        netlist=netlist, model=model, fault_universe=fault_universe,
+        process_variation=process_variation,
+        nominal_conditions=nominal_conditions,
+        block_weights=dict(DEFAULT_BLOCK_WEIGHTS),
+        healthy_states=dict(REGULATOR_HEALTHY_STATES),
+        designer_fault_probabilities=dict(DESIGNER_FAULT_PROBABILITIES),
+    )
+
+
+#: Designer estimate of each internal block's prior probability of being the
+#: defective one, given that the device is a field return.  Large analogue
+#: blocks (bandgaps, the supply monitor, the regulators and the power switch)
+#: dominate the defect Pareto; the small enable logic rarely fails.
+DESIGNER_FAULT_PROBABILITIES: dict[str, float] = {
+    "lcbg": 0.25, "hcbg": 0.30, "warnvpst": 0.30,
+    "enblSen": 0.04, "vx": 0.03,
+    "enb13": 0.08, "enb4": 0.08, "enbsw": 0.08,
+    "reg1": 0.25, "reg2": 0.25, "reg3": 0.25, "reg4": 0.25,
+    "sw": 0.30,
+}
+
+
+#: State labels corresponding to defect-free operation under the nominal
+#: full-circuit test condition (vp1/vp1x/vp2 nominal, all enables requested).
+#: For controllable variables the entry is the nominal forced state.
+REGULATOR_HEALTHY_STATES: dict[str, str] = {
+    "vp1": "2", "vp1x": "4", "vp2": "2",
+    "enb13_pin": "1", "enb4_pin": "1", "enbsw_pin": "1",
+    "sw": "1", "reg1": "1", "reg2": "1", "reg3": "1", "reg4": "1",
+    "lcbg": "1", "hcbg": "1", "warnvpst": "1", "enblSen": "1", "vx": "1",
+    "enb13": "1", "enb4": "1", "enbsw": "1",
+}
+
+
+_DESCRIPTIONS: dict[str, str] = {
+    "vp1": "Battery supply rail",
+    "vp1x": "Ignition-buffer sense input",
+    "vp2": "Second (pre-regulated) supply rail",
+    "enb13_pin": "External enable pin for regulators 1 and 3",
+    "enb4_pin": "External enable pin for regulator 4",
+    "enbsw_pin": "External enable pin for the power switch",
+    "sw": "Built-in power switch output",
+    "reg1": "Regulator output 1 (8.5 V)",
+    "reg2": "Regulator output 2 (5.0 V, always on)",
+    "reg3": "Regulator output 3 (5.0 V)",
+    "reg4": "Regulator output 4 (3.3 V)",
+    "enbsw": "Internal enable of the power switch",
+    "lcbg": "Low-current bandgap reference",
+    "warnvpst": "Supply warning / power-on monitor",
+    "enblSen": "Enable-sense logic",
+    "vx": "OR of the external enable pins",
+    "hcbg": "High-current bandgap reference",
+    "enb4": "Internal enable of regulator 4",
+    "enb13": "Internal enable of regulators 1 and 3",
+}

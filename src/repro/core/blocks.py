@@ -1,0 +1,90 @@
+"""Model variables (functional blocks) and their functional types.
+
+Table I of the paper classifies every model variable of the BBN circuit model
+as controllable, observable, both, or neither.  The functional type decides
+the variable's role during diagnosis:
+
+* ``CONTROL`` — the tester forces this block's state (test condition).
+* ``OBSERVE`` — the tester measures this block's state (test response).
+* ``CONTROL_OBSERVE`` — both of the above.
+* ``INTERNAL`` — neither controllable nor observable; its state is what the
+  diagnosis has to infer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.exceptions import ModelBuildError
+
+
+class BlockType(str, enum.Enum):
+    """Functional type of a model variable (Table I)."""
+
+    CONTROL = "CONTROL"
+    OBSERVE = "OBSERVE"
+    CONTROL_OBSERVE = "CONTROL/OBSERVE"
+    INTERNAL = "NOT CONTROL/OBSERVE"
+
+    @property
+    def is_controllable(self) -> bool:
+        """``True`` when the tester can force this block's state."""
+        return self in (BlockType.CONTROL, BlockType.CONTROL_OBSERVE)
+
+    @property
+    def is_observable(self) -> bool:
+        """``True`` when the tester can measure this block's state."""
+        return self in (BlockType.OBSERVE, BlockType.CONTROL_OBSERVE)
+
+    @property
+    def is_internal(self) -> bool:
+        """``True`` when the block is neither controllable nor observable."""
+        return self is BlockType.INTERNAL
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelVariable:
+    """One model variable of the BBN circuit model.
+
+    Attributes
+    ----------
+    name:
+        The model-variable name (e.g. ``"reg1"`` or ``"warnvpst"``).
+    block_type:
+        Functional type per Table I / Table V.
+    circuit_reference:
+        The block's reference location in the functional block schematic
+        (the ``Ckt. Ref.`` column of Table V); ``None`` for variables that do
+        not appear in the schematic (e.g. ``vx`` and ``hcbg``).
+    description:
+        Free-text description of the block's function.
+    """
+
+    name: str
+    block_type: BlockType
+    circuit_reference: str | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelBuildError("model variable name must be non-empty")
+        if not isinstance(self.block_type, BlockType):
+            raise ModelBuildError(
+                f"block_type of {self.name!r} must be a BlockType, "
+                f"got {type(self.block_type).__name__}")
+
+    @property
+    def is_controllable(self) -> bool:
+        """``True`` when the tester can force this variable's state."""
+        return self.block_type.is_controllable
+
+    @property
+    def is_observable(self) -> bool:
+        """``True`` when the tester can measure this variable's state."""
+        return self.block_type.is_observable
+
+    @property
+    def is_internal(self) -> bool:
+        """``True`` when this variable's state must be inferred."""
+        return self.block_type.is_internal

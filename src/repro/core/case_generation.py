@@ -1,0 +1,176 @@
+"""Conversion of ATE test data into BBN learning cases.
+
+A *case* is one row of learning data: the state of every model variable of
+the circuit for one device under one test condition, with ``None`` for
+variables whose state is unknown (the internal, non-observable blocks are
+*always* unknown in real test data).  The paper's Dlog2BBN tool automates
+exactly this conversion from ATE test files; :class:`CaseGenerator` does the
+same from parsed datalogs or directly from simulated device results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.ate.datalog import DeviceDatalog
+from repro.ate.tester import DeviceResult
+from repro.core.circuit_model import CircuitModelDescription
+from repro.exceptions import CaseGenerationError
+
+#: A learning case: model variable -> state label (or ``None`` when unknown).
+Case = dict[str, object]
+
+
+@dataclasses.dataclass(frozen=True)
+class LabeledCase:
+    """A case together with its provenance (device and condition label).
+
+    Attributes
+    ----------
+    device_id:
+        The device the case was generated from.
+    condition_label:
+        A label identifying the test condition group (derived from the forced
+        conditions), so that multiple cases of the same device stay
+        distinguishable.
+    assignments:
+        The case proper: state label per model variable, ``None`` when the
+        variable's state is unknown for this device/condition.
+    failed:
+        ``True`` when the underlying measurements contain at least one
+        specification failure.
+    """
+
+    device_id: str
+    condition_label: str
+    assignments: Case
+    failed: bool
+
+    def observed(self) -> dict[str, str]:
+        """Return only the known (non-``None``) assignments."""
+        return {variable: str(state)
+                for variable, state in self.assignments.items()
+                if state is not None}
+
+
+class CaseGenerator:
+    """Generates learning cases from ATE data for one circuit model.
+
+    Parameters
+    ----------
+    model:
+        The circuit-model description (provides the discretiser and the
+        variable roles).
+    include_internal:
+        Internal (non-observable) variables are emitted as ``None`` by
+        default — their state is never measured.  Tests may set this to
+        ``True`` together with simulator ground truth to build "oracle"
+        cases.
+    """
+
+    def __init__(self, model: CircuitModelDescription,
+                 include_internal: bool = False) -> None:
+        self.model = model
+        self.include_internal = bool(include_internal)
+        self._discretizer = model.discretizer()
+
+    # ----------------------------------------------------------------- helpers
+    def _empty_case(self) -> Case:
+        return {variable: None for variable in self.model.variable_names}
+
+    @staticmethod
+    def _condition_label(conditions: Mapping[str, float]) -> str:
+        return ";".join(f"{block}={value:g}"
+                        for block, value in sorted(conditions.items()))
+
+    def _classify_conditions(self, case: Case,
+                             conditions: Mapping[str, float]) -> None:
+        for variable, value in conditions.items():
+            if variable not in self.model.variable_names:
+                continue
+            if not self.model.variable(variable).is_controllable:
+                raise CaseGenerationError(
+                    f"datalog forces {variable!r}, which is not a controllable "
+                    "model variable")
+            case[variable] = self._discretizer.classify(variable, float(value))
+
+    # -------------------------------------------------------- from device data
+    def cases_from_device_result(self, result: DeviceResult) -> list[LabeledCase]:
+        """Return one case per distinct test condition of one device result."""
+        groups: dict[str, list] = {}
+        for measurement in result.measurements:
+            groups.setdefault(self._condition_label(measurement.conditions),
+                              []).append(measurement)
+        cases: list[LabeledCase] = []
+        for label, measurements in groups.items():
+            case = self._empty_case()
+            self._classify_conditions(case, measurements[0].conditions)
+            failed = False
+            for measurement in measurements:
+                if measurement.block not in self.model.variable_names:
+                    continue
+                case[measurement.block] = self._discretizer.classify(
+                    measurement.block, measurement.value)
+                failed = failed or not measurement.passed
+            cases.append(LabeledCase(device_id=result.device_id,
+                                     condition_label=label,
+                                     assignments=case, failed=failed))
+        return cases
+
+    def cases_from_results(self, results: Iterable[DeviceResult],
+                           only_failing_devices: bool = False) -> list[LabeledCase]:
+        """Return the cases of many device results.
+
+        Parameters
+        ----------
+        only_failing_devices:
+            When ``True``, devices that passed every specification test are
+            skipped (the paper's cases come from failed products only).
+        """
+        cases: list[LabeledCase] = []
+        for result in results:
+            if only_failing_devices and not result.failed:
+                continue
+            cases.extend(self.cases_from_device_result(result))
+        return cases
+
+    # ----------------------------------------------------------- from datalogs
+    def cases_from_datalog(self, datalog: DeviceDatalog) -> list[LabeledCase]:
+        """Return one case per distinct test condition of one device datalog."""
+        groups: dict[str, list] = {}
+        for record in datalog.records:
+            groups.setdefault(self._condition_label(record.conditions),
+                              []).append(record)
+        cases: list[LabeledCase] = []
+        for label, records in groups.items():
+            case = self._empty_case()
+            self._classify_conditions(case, records[0].conditions)
+            failed = False
+            for record in records:
+                if record.block not in self.model.variable_names:
+                    continue
+                case[record.block] = self._discretizer.classify(
+                    record.block, record.value)
+                failed = failed or not record.passed
+            cases.append(LabeledCase(device_id=datalog.device_id,
+                                     condition_label=label,
+                                     assignments=case, failed=failed))
+        return cases
+
+    def cases_from_datalogs(self, datalogs: Iterable[DeviceDatalog],
+                            only_failing_devices: bool = False
+                            ) -> list[LabeledCase]:
+        """Return the cases of many device datalogs."""
+        cases: list[LabeledCase] = []
+        for datalog in datalogs:
+            if only_failing_devices and not datalog.failed:
+                continue
+            cases.extend(self.cases_from_datalog(datalog))
+        return cases
+
+    # -------------------------------------------------------------- conversion
+    @staticmethod
+    def as_learning_cases(cases: Sequence[LabeledCase]) -> list[Case]:
+        """Strip provenance and return plain learning cases for the estimators."""
+        return [dict(case.assignments) for case in cases]

@@ -1,0 +1,122 @@
+"""Diagnosis-quality metrics.
+
+The paper validates its method qualitatively ("the failing functional block
+candidate(s) are correlated to the ones selected by the diagnostic expert").
+With simulated populations the injected fault is known exactly, so the
+benchmark harness can report quantitative metrics on top of the qualitative
+reproduction: top-k accuracy of the candidate ranking, the rank of the true
+fault, and precision/recall of the deduced suspect set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.diagnosis import Diagnosis
+from repro.exceptions import DiagnosisError
+
+
+def rank_of_true_fault(diagnosis: Diagnosis, true_block: str) -> int:
+    """Return the 1-based rank of the truly failing block in the ranking."""
+    return diagnosis.rank_of(true_block)
+
+
+@dataclasses.dataclass
+class DiagnosisMetrics:
+    """Aggregated diagnosis metrics over a set of diagnosed devices.
+
+    Attributes
+    ----------
+    total:
+        Number of diagnosed devices.
+    top1_hits / top3_hits:
+        How often the true block was ranked first / within the top three.
+    suspect_hits:
+        How often the true block appeared in the deduced suspect list.
+    ranks:
+        The rank of the true block for every device.
+    suspect_set_sizes:
+        The size of the deduced suspect list for every device.
+    """
+
+    total: int = 0
+    top1_hits: int = 0
+    top3_hits: int = 0
+    suspect_hits: int = 0
+    ranks: list[int] = dataclasses.field(default_factory=list)
+    suspect_set_sizes: list[int] = dataclasses.field(default_factory=list)
+
+    # ------------------------------------------------------------------ update
+    def record(self, diagnosis: Diagnosis, true_block: str) -> None:
+        """Record one diagnosed device against its ground-truth block."""
+        rank = rank_of_true_fault(diagnosis, true_block)
+        self.total += 1
+        self.ranks.append(rank)
+        self.suspect_set_sizes.append(len(diagnosis.suspects))
+        if rank == 1:
+            self.top1_hits += 1
+        if rank <= 3:
+            self.top3_hits += 1
+        if true_block in diagnosis.suspects:
+            self.suspect_hits += 1
+
+    @classmethod
+    def from_diagnoses(cls, diagnoses: Sequence[Diagnosis],
+                       true_blocks: Sequence[str]) -> "DiagnosisMetrics":
+        """Build metrics from parallel lists of diagnoses and true blocks."""
+        if len(diagnoses) != len(true_blocks):
+            raise DiagnosisError(
+                "diagnoses and true_blocks must have the same length")
+        metrics = cls()
+        for diagnosis, block in zip(diagnoses, true_blocks):
+            metrics.record(diagnosis, block)
+        return metrics
+
+    # ------------------------------------------------------------------- rates
+    def _rate(self, hits: int) -> float:
+        if self.total == 0:
+            raise DiagnosisError("no diagnoses recorded")
+        return hits / self.total
+
+    @property
+    def top1_accuracy(self) -> float:
+        """Fraction of devices whose true block was ranked first."""
+        return self._rate(self.top1_hits)
+
+    @property
+    def top3_accuracy(self) -> float:
+        """Fraction of devices whose true block was ranked in the top three."""
+        return self._rate(self.top3_hits)
+
+    @property
+    def suspect_recall(self) -> float:
+        """Fraction of devices whose true block appears in the suspect list."""
+        return self._rate(self.suspect_hits)
+
+    @property
+    def mean_rank(self) -> float:
+        """Mean rank of the true block."""
+        if not self.ranks:
+            raise DiagnosisError("no diagnoses recorded")
+        return float(np.mean(self.ranks))
+
+    @property
+    def mean_suspect_set_size(self) -> float:
+        """Mean size of the deduced suspect list (diagnostic resolution)."""
+        if not self.suspect_set_sizes:
+            raise DiagnosisError("no diagnoses recorded")
+        return float(np.mean(self.suspect_set_sizes))
+
+    def summary(self) -> dict[str, float]:
+        """Return the headline metrics as a dictionary (for tables and benches)."""
+        return {
+            "devices": float(self.total),
+            "top1_accuracy": self.top1_accuracy,
+            "top3_accuracy": self.top3_accuracy,
+            "suspect_recall": self.suspect_recall,
+            "mean_rank": self.mean_rank,
+            "mean_suspect_set_size": self.mean_suspect_set_size,
+        }

@@ -1,0 +1,146 @@
+"""The paper's published evaluation data (Tables VI and VII).
+
+Two things are recorded here verbatim from the paper:
+
+* :data:`PAPER_DIAGNOSTIC_CASES` — the five diagnostic case studies of
+  Table VI: the controllable states (test conditions), the observable states
+  (responses) and the failing block(s) identified by the diagnostic expert.
+* :data:`PAPER_INTERNAL_PROBABILITIES` — the published posterior
+  probabilities of the eight internal (non-observable) model variables for
+  the initial column and each case d1–d5 of Table VII.
+
+The probabilities are used to (a) validate that the automated candidate
+deduction reproduces the paper's manual reasoning when fed the paper's own
+numbers and (b) report paper-vs-measured comparisons in the benchmark
+harness.  Probabilities are stored as fractions (the paper prints percent).
+"""
+
+from __future__ import annotations
+
+from repro.core.diagnosis import DiagnosticCase
+
+#: The five diagnostic case studies of Table VI.
+PAPER_DIAGNOSTIC_CASES: list[DiagnosticCase] = [
+    DiagnosticCase(
+        name="d1",
+        controllable_states={"vp1": "2", "vp1x": "4", "vp2": "2",
+                             "enb13_pin": "1", "enb4_pin": "1", "enbsw_pin": "1"},
+        observable_states={"reg1": "0", "reg2": "1", "reg3": "0",
+                           "reg4": "0", "sw": "0"},
+        expected_fail_blocks=("warnvpst", "hcbg"),
+    ),
+    DiagnosticCase(
+        name="d2",
+        controllable_states={"vp1": "2", "vp1x": "4", "vp2": "2",
+                             "enb13_pin": "1", "enb4_pin": "1", "enbsw_pin": "1"},
+        observable_states={"reg1": "0", "reg2": "1", "reg3": "0",
+                           "reg4": "1", "sw": "2"},
+        expected_fail_blocks=("enb13",),
+    ),
+    DiagnosticCase(
+        name="d3",
+        controllable_states={"vp1": "1", "vp1x": "3", "vp2": "1",
+                             "enb13_pin": "1", "enb4_pin": "1", "enbsw_pin": "1"},
+        observable_states={"reg1": "0", "reg2": "1", "reg3": "0",
+                           "reg4": "0", "sw": "0"},
+        expected_fail_blocks=("warnvpst",),
+    ),
+    DiagnosticCase(
+        name="d4",
+        controllable_states={"vp1": "2", "vp1x": "4", "vp2": "2",
+                             "enb13_pin": "3", "enb4_pin": "3", "enbsw_pin": "3"},
+        observable_states={"reg1": "0", "reg2": "0", "reg3": "0",
+                           "reg4": "0", "sw": "0"},
+        expected_fail_blocks=("lcbg",),
+    ),
+    DiagnosticCase(
+        name="d5",
+        controllable_states={"vp1": "2", "vp1x": "4", "vp2": "2",
+                             "enb13_pin": "1", "enb4_pin": "1", "enbsw_pin": "1"},
+        observable_states={"reg1": "1", "reg2": "1", "reg3": "1",
+                           "reg4": "1", "sw": "0"},
+        expected_fail_blocks=("enbsw",),
+    ),
+]
+
+#: The suspect list the paper deduces per case in Section IV-B.
+PAPER_EXPECTED_SUSPECTS: dict[str, tuple[str, ...]] = {
+    "d1": ("warnvpst", "hcbg"),
+    "d2": ("enb13",),
+    "d3": ("warnvpst",),
+    "d4": ("lcbg",),
+    "d5": ("enbsw",),
+}
+
+#: Table VII posterior probabilities (fractions) of the internal model
+#: variables, per report column.  Column "Init" is the post-learning prior.
+PAPER_INTERNAL_PROBABILITIES: dict[str, dict[str, dict[str, float]]] = {
+    "Init": {
+        "lcbg": {"0": 0.277, "1": 0.577, "2": 0.136, "3": 0.009},
+        "enbsw": {"0": 0.808, "1": 0.192},
+        "warnvpst": {"0": 0.533, "1": 0.467},
+        "enblSen": {"0": 0.357, "1": 0.643},
+        "vx": {"0": 0.175, "1": 0.825},
+        "hcbg": {"0": 0.414, "1": 0.586},
+        "enb4": {"0": 0.807, "1": 0.193},
+        "enb13": {"0": 0.770, "1": 0.230},
+    },
+    "d1": {
+        "lcbg": {"0": 0.0178, "1": 0.982, "2": 0.0001, "3": 0.0002},
+        "enbsw": {"0": 0.837, "1": 0.163},
+        "warnvpst": {"0": 0.408, "1": 0.592},
+        "enblSen": {"0": 0.0417, "1": 0.958},
+        "vx": {"0": 0.0136, "1": 0.986},
+        "hcbg": {"0": 0.424, "1": 0.576},
+        "enb4": {"0": 0.853, "1": 0.147},
+        "enb13": {"0": 0.895, "1": 0.105},
+    },
+    "d2": {
+        "lcbg": {"0": 0.0, "1": 1.0, "2": 0.0, "3": 0.0},
+        "enbsw": {"0": 0.0033, "1": 0.997},
+        "warnvpst": {"0": 0.0, "1": 1.0},
+        "enblSen": {"0": 0.0078, "1": 0.992},
+        "vx": {"0": 0.0076, "1": 0.992},
+        "hcbg": {"0": 0.0731, "1": 0.927},
+        "enb4": {"0": 0.0007, "1": 0.999},
+        "enb13": {"0": 0.977, "1": 0.0234},
+    },
+    "d3": {
+        "lcbg": {"0": 0.103, "1": 0.896, "2": 0.0005, "3": 0.00004},
+        "enbsw": {"0": 0.993, "1": 0.0067},
+        "warnvpst": {"0": 0.981, "1": 0.0188},
+        "enblSen": {"0": 0.107, "1": 0.893},
+        "vx": {"0": 0.0101, "1": 0.990},
+        "hcbg": {"0": 0.291, "1": 0.709},
+        "enb4": {"0": 0.994, "1": 0.0061},
+        "enb13": {"0": 0.992, "1": 0.0084},
+    },
+    "d4": {
+        "lcbg": {"0": 0.582, "1": 0.415, "2": 0.0078, "3": 0.0019},
+        "enbsw": {"0": 0.949, "1": 0.051},
+        "warnvpst": {"0": 0.948, "1": 0.052},
+        "enblSen": {"0": 0.536, "1": 0.464},
+        "vx": {"0": 0.0104, "1": 0.990},
+        "hcbg": {"0": 0.664, "1": 0.336},
+        "enb4": {"0": 0.949, "1": 0.0506},
+        "enb13": {"0": 0.931, "1": 0.069},
+    },
+    "d5": {
+        "lcbg": {"0": 0.0, "1": 1.0, "2": 0.0, "3": 0.0},
+        "enbsw": {"0": 0.935, "1": 0.0647},
+        "warnvpst": {"0": 0.0, "1": 1.0},
+        "enblSen": {"0": 0.0067, "1": 0.993},
+        "vx": {"0": 0.0072, "1": 0.993},
+        "hcbg": {"0": 0.0526, "1": 0.947},
+        "enb4": {"0": 0.0007, "1": 0.999},
+        "enb13": {"0": 0.0, "1": 1.0},
+    },
+}
+
+#: The fault the diagnostic expert attributes to each case (Table VI "Fail
+#: blocks" column), mapped onto this library's model-variable names.  The
+#: paper prints "warnpst" for d1/d3 which is the ``warnvpst`` model variable.
+PAPER_CASE_FAIL_BLOCKS: dict[str, tuple[str, ...]] = {
+    name: case.expected_fail_blocks for name, case in
+    ((case.name, case) for case in PAPER_DIAGNOSTIC_CASES)
+}

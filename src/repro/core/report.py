@@ -1,0 +1,122 @@
+"""Table-VI/VII-style diagnostic reports.
+
+Table VII of the paper lists, for every model variable and every usable
+state, the voltage limits, the remark, the initial (post-learning) state
+probability and the updated probability for each diagnostic case d1–d5.
+:class:`DiagnosticReport` regenerates that table from a built model and a
+list of diagnoses, and :func:`case_summary_table` regenerates the Table VI
+case-summary view.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping, Sequence
+
+from repro.core.diagnosis import Diagnosis, DiagnosticCase
+from repro.core.model_builder import BuiltModel
+from repro.exceptions import DiagnosisError
+from repro.utils.tables import format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class ReportColumn:
+    """One probability column of the report (Init.% or one diagnostic case)."""
+
+    label: str
+    probabilities: Mapping[str, Mapping[str, float]]
+
+
+class DiagnosticReport:
+    """Builds the Table-VII-style per-state probability report.
+
+    Parameters
+    ----------
+    built_model:
+        The built BBN circuit model (provides variables, states, limits).
+    initial_probabilities:
+        The prior marginals after parameter learning (the ``Init.%`` column).
+    diagnoses:
+        One :class:`Diagnosis` per diagnostic case, in column order.
+    """
+
+    def __init__(self, built_model: BuiltModel,
+                 initial_probabilities: Mapping[str, Mapping[str, float]],
+                 diagnoses: Sequence[Diagnosis] = ()) -> None:
+        self.built_model = built_model
+        self.model = built_model.description
+        self.columns: list[ReportColumn] = [
+            ReportColumn("Init", initial_probabilities)]
+        for diagnosis in diagnoses:
+            self.columns.append(ReportColumn(diagnosis.case_name,
+                                             diagnosis.posteriors))
+
+    # --------------------------------------------------------------------- rows
+    def rows(self) -> list[list[object]]:
+        """Return one row per (variable, state): limits, remark and probabilities."""
+        rows: list[list[object]] = []
+        for variable in self.model.variable_names:
+            table = self.model.state_table(variable)
+            for state in table.states:
+                row: list[object] = [variable, state.label,
+                                     f"{state.lower:g}", f"{state.upper:g}",
+                                     state.remark]
+                for column in self.columns:
+                    distribution = column.probabilities.get(variable)
+                    if distribution is None:
+                        raise DiagnosisError(
+                            f"column {column.label!r} has no probabilities for "
+                            f"variable {variable!r}")
+                    probability = float(distribution.get(state.label, 0.0))
+                    row.append(f"{probability * 100.0:.1f}")
+                rows.append(row)
+        return rows
+
+    def header(self) -> list[str]:
+        """Return the report header."""
+        return (["MVar.", "State", "LL.(Volts)", "UL.(Volts)", "Remarks"]
+                + [f"{column.label}.(%)" for column in self.columns])
+
+    def to_text(self, title: str = "Diagnostic case studies: model variable "
+                                   "state probabilities") -> str:
+        """Render the report as an aligned ASCII table (Table VII)."""
+        return format_table(self.header(), self.rows(), title=title)
+
+    # ----------------------------------------------------------------- queries
+    def probability(self, column_label: str, variable: str, state: str) -> float:
+        """Return one cell of the report (probability, not percent)."""
+        for column in self.columns:
+            if column.label == column_label:
+                return float(column.probabilities[variable][state])
+        raise DiagnosisError(f"no report column labelled {column_label!r}")
+
+
+def case_summary_table(cases: Sequence[DiagnosticCase],
+                       diagnoses: Sequence[Diagnosis] | None = None) -> str:
+    """Render the Table-VI-style case summary.
+
+    One row per case listing the controllable states (test conditions), the
+    observable states (responses), the expert/ground-truth fail blocks and —
+    when diagnoses are supplied — the suspect blocks the engine deduced.
+    """
+    header = ["Case", "Controllable states", "Observable states",
+              "Expected fail blocks"]
+    diagnosis_by_case: dict[str, Diagnosis] = {}
+    if diagnoses is not None:
+        header.append("Deduced suspects")
+        diagnosis_by_case = {diagnosis.case_name: diagnosis
+                             for diagnosis in diagnoses}
+    rows: list[list[str]] = []
+    for case in cases:
+        controllable = ", ".join(f"{variable}={state}"
+                                 for variable, state in case.controllable_states.items())
+        observable = ", ".join(f"{variable}={state}"
+                               for variable, state in case.observable_states.items())
+        expected = ", ".join(case.expected_fail_blocks) or "-"
+        row = [case.name, controllable, observable, expected]
+        if diagnoses is not None:
+            diagnosis = diagnosis_by_case.get(case.name)
+            row.append(", ".join(diagnosis.suspects) if diagnosis else "-")
+        rows.append(row)
+    return format_table(header, rows,
+                        title="Summarising diagnostic case studies and results")

@@ -1,0 +1,203 @@
+"""State definitions and measurement discretisation.
+
+Table II and Table VII of the paper define, for every model variable, a set
+of *usable states*, each bounded by a lower and an upper limit (in volts) and
+annotated with a remark ("Non-Operational", "in regulation", ...).  The
+states are how continuous measurements become discrete BBN evidence.
+
+The paper's state windows are allowed to overlap (the enable-pin variables
+deliberately define a narrow "bad state" window inside a wider "good state"
+window).  :class:`Discretizer` therefore resolves a measurement to a state by
+*priority*: the first state in definition order whose window contains the
+value wins, which reproduces the test-specification semantics ("check the
+tight window first, fall back to the wide one").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.exceptions import StateDefinitionError
+
+
+@dataclasses.dataclass(frozen=True)
+class StateDefinition:
+    """One usable state of a model variable.
+
+    Attributes
+    ----------
+    label:
+        The state label used by the BBN (the paper uses "0", "1", ...).
+    lower:
+        Lower limit of the state window (inclusive).
+    upper:
+        Upper limit of the state window (inclusive).
+    remark:
+        Human-readable meaning ("Non-Operational", "nominal level", ...).
+    """
+
+    label: str
+    lower: float
+    upper: float
+    remark: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise StateDefinitionError("state label must be non-empty")
+
+    @property
+    def width(self) -> float:
+        """The width of the state window."""
+        return abs(self.upper - self.lower)
+
+    def contains(self, value: float) -> bool:
+        """Return ``True`` when ``value`` lies within the state window.
+
+        Windows whose limits are given in descending order (the paper's
+        negative-voltage states list ``-1.0e-7`` to ``-1.0e-3``) are
+        normalised automatically.
+        """
+        low, high = sorted((self.lower, self.upper))
+        return low <= value <= high
+
+
+class StateTable:
+    """The ordered usable states of one model variable (one Table II row group).
+
+    Parameters
+    ----------
+    variable:
+        The model-variable name.
+    states:
+        State definitions, in priority order.
+    """
+
+    def __init__(self, variable: str, states: Sequence[StateDefinition]) -> None:
+        if not variable:
+            raise StateDefinitionError("variable name must be non-empty")
+        states = list(states)
+        if len(states) < 2:
+            raise StateDefinitionError(
+                f"variable {variable!r} needs at least two states, got {len(states)}")
+        labels = [state.label for state in states]
+        if len(set(labels)) != len(labels):
+            raise StateDefinitionError(
+                f"variable {variable!r} has duplicate state labels: {labels}")
+        self.variable = variable
+        self.states = states
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def labels(self) -> list[str]:
+        """All state labels in priority order."""
+        return [state.label for state in self.states]
+
+    @property
+    def cardinality(self) -> int:
+        """The number of usable states."""
+        return len(self.states)
+
+    def state(self, label: str) -> StateDefinition:
+        """Return the state definition with ``label``."""
+        for state in self.states:
+            if state.label == label:
+                return state
+        raise StateDefinitionError(
+            f"variable {self.variable!r} has no state labelled {label!r}; "
+            f"known labels: {self.labels}")
+
+    def index_of(self, label: str) -> int:
+        """Return the position of ``label`` in the priority order."""
+        return self.labels.index(self.state(label).label)
+
+    # ----------------------------------------------------------- discretising
+    def classify(self, value: float, *, strict: bool = False) -> str:
+        """Map a measured value to a state label.
+
+        The first state (in priority order) whose window contains ``value``
+        wins.  When no window contains the value, the nearest window is used
+        unless ``strict`` is set, in which case an error is raised.
+        """
+        for state in self.states:
+            if state.contains(value):
+                return state.label
+        if strict:
+            raise StateDefinitionError(
+                f"value {value} for variable {self.variable!r} falls outside "
+                f"every defined state window")
+        nearest = min(self.states,
+                      key=lambda state: self._distance(state, value))
+        return nearest.label
+
+    @staticmethod
+    def _distance(state: StateDefinition, value: float) -> float:
+        low, high = sorted((state.lower, state.upper))
+        if value < low:
+            return low - value
+        if value > high:
+            return value - high
+        return 0.0
+
+    def representative_value(self, label: str) -> float:
+        """Return the midpoint of a state window (used to force test conditions)."""
+        state = self.state(label)
+        low, high = sorted((state.lower, state.upper))
+        return (low + high) / 2.0
+
+    def rows(self) -> list[tuple[str, float, float, str]]:
+        """Return ``(label, lower, upper, remark)`` rows (Table II / VII format)."""
+        return [(state.label, state.lower, state.upper, state.remark)
+                for state in self.states]
+
+
+class Discretizer:
+    """Maps continuous per-variable measurements to discrete state labels.
+
+    Parameters
+    ----------
+    tables:
+        One :class:`StateTable` per model variable.
+    strict:
+        Propagate strictness to :meth:`StateTable.classify`.
+    """
+
+    def __init__(self, tables: Iterable[StateTable], *, strict: bool = False) -> None:
+        self._tables: dict[str, StateTable] = {}
+        for table in tables:
+            if table.variable in self._tables:
+                raise StateDefinitionError(
+                    f"duplicate state table for variable {table.variable!r}")
+            self._tables[table.variable] = table
+        self.strict = bool(strict)
+
+    @property
+    def variables(self) -> list[str]:
+        """All variables that can be discretised."""
+        return list(self._tables)
+
+    def table(self, variable: str) -> StateTable:
+        """Return the state table of ``variable``."""
+        if variable not in self._tables:
+            raise StateDefinitionError(
+                f"no state table registered for variable {variable!r}")
+        return self._tables[variable]
+
+    def classify(self, variable: str, value: float) -> str:
+        """Discretise one measurement."""
+        return self.table(variable).classify(value, strict=self.strict)
+
+    def classify_all(self, measurements: Mapping[str, float]) -> dict[str, str]:
+        """Discretise every measurement for which a state table exists."""
+        return {variable: self.classify(variable, value)
+                for variable, value in measurements.items()
+                if variable in self._tables}
+
+    def cardinalities(self) -> dict[str, int]:
+        """Return the per-variable state counts."""
+        return {variable: table.cardinality
+                for variable, table in self._tables.items()}
+
+    def state_names(self) -> dict[str, list[str]]:
+        """Return the per-variable state labels (BBN state names)."""
+        return {variable: table.labels for variable, table in self._tables.items()}

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the block-level Bayesian diagnosis library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so a
+caller can catch a single base class while still being able to discriminate
+between structural problems (bad graphs, bad CPDs), data problems (bad
+datalogs, bad cases) and usage problems (unknown variables, invalid
+evidence).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A directed graph violates a structural requirement (e.g. a cycle)."""
+
+
+class FactorError(ReproError):
+    """A discrete factor operation received incompatible operands."""
+
+
+class CPDError(ReproError):
+    """A conditional probability distribution is malformed."""
+
+
+class NetworkError(ReproError):
+    """A Bayesian network is inconsistent (missing CPDs, bad cards, ...)."""
+
+
+class InferenceError(ReproError):
+    """An inference query cannot be answered (unknown variable, bad evidence)."""
+
+
+class LearningError(ReproError):
+    """Parameter or structure learning received unusable data."""
+
+
+class CircuitError(ReproError):
+    """A behavioural circuit description is inconsistent."""
+
+
+class FaultError(CircuitError):
+    """A fault cannot be injected into the requested block."""
+
+
+class ATEError(ReproError):
+    """An ATE test program or datalog is malformed."""
+
+
+class DatalogError(ATEError):
+    """A datalog file or record cannot be parsed."""
+
+
+class ModelBuildError(ReproError):
+    """The Dlog2BBN model builder received inconsistent inputs."""
+
+
+class StateDefinitionError(ModelBuildError):
+    """A block state table is inconsistent (overlapping limits, gaps, ...)."""
+
+
+class CaseGenerationError(ModelBuildError):
+    """ATE data could not be converted into learning cases."""
+
+
+class DiagnosisError(ReproError):
+    """A diagnostic query is invalid (unknown blocks, missing evidence)."""

@@ -1,0 +1,22 @@
+"""Shared utilities: table rendering, validation helpers and RNG handling."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.tables import format_table, format_probability_table
+from repro.utils.validation import (
+    check_probability_vector,
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_unique,
+)
+
+__all__ = [
+    "ensure_rng",
+    "format_table",
+    "format_probability_table",
+    "check_probability_vector",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_unique",
+]

@@ -1,0 +1,35 @@
+"""Random-number-generator handling.
+
+All stochastic code in the library accepts either ``None``, an integer seed,
+or an already-constructed :class:`numpy.random.Generator`.  Centralising the
+conversion keeps experiments reproducible: benchmarks pass integer seeds, the
+library turns them into generators exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for a fresh non-deterministic generator, an ``int`` for a
+        seeded generator, or an existing generator which is returned
+        unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Useful when a simulation needs per-device independent streams while the
+    caller only holds a single seeded generator.
+    """
+    return np.random.default_rng(rng.integers(0, 2**63 - 1))

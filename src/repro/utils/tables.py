@@ -1,0 +1,67 @@
+"""Plain-text table rendering.
+
+The paper reports its results as tables (Tables I–VII).  The benchmark
+harness regenerates those tables as aligned ASCII text so that the output of
+a benchmark run can be compared side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def _column_widths(header: Sequence[str], rows: Sequence[Sequence[str]]) -> list[int]:
+    widths = [len(str(h)) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    return widths
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[object]],
+                 *, title: str | None = None) -> str:
+    """Render ``rows`` under ``header`` as an aligned ASCII table.
+
+    Parameters
+    ----------
+    header:
+        Column names.
+    rows:
+        Sequence of rows; each row must have ``len(header)`` cells.  Cells are
+        converted with :func:`str`.
+    title:
+        Optional table title printed above the header.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(header):
+            raise ValueError(
+                f"row has {len(row)} cells but header has {len(header)} columns")
+    widths = _column_widths(header, str_rows)
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_probability_table(probabilities: Mapping[str, Mapping[str, float]],
+                             *, title: str | None = None,
+                             percent: bool = True) -> str:
+    """Render a nested ``{variable: {state: probability}}`` mapping as a table.
+
+    Used for Table-VII-style diagnostic reports where each row is a
+    (variable, state) pair and the value is the posterior probability.
+    """
+    header = ["Variable", "State", "Prob.%" if percent else "Prob."]
+    rows = []
+    for variable, states in probabilities.items():
+        for state, prob in states.items():
+            value = prob * 100.0 if percent else prob
+            rows.append([variable, state, f"{value:.2f}"])
+    return format_table(header, rows, title=title)

@@ -1,0 +1,64 @@
+"""Small validation helpers used across the library.
+
+These helpers raise :class:`ValueError` with descriptive messages; callers
+that want library-specific exception types catch and re-raise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+
+def check_probability_vector(values: Sequence[float], *, atol: float = 1e-6,
+                             name: str = "probabilities") -> np.ndarray:
+    """Validate that ``values`` is a probability vector and return it as an array.
+
+    The vector must be non-negative and sum to one within ``atol``.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if np.any(arr < -atol):
+        raise ValueError(f"{name} contains negative entries: {arr}")
+    total = float(arr.sum())
+    if not np.isclose(total, 1.0, atol=atol):
+        raise ValueError(f"{name} must sum to 1.0, got {total}")
+    return arr
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be strictly positive, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is non-negative."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_in_range(value: float, low: float, high: float,
+                   name: str = "value") -> float:
+    """Validate that ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_unique(items: Iterable, name: str = "items") -> list:
+    """Validate that ``items`` contains no duplicates and return it as a list."""
+    items = list(items)
+    seen = set()
+    duplicates = []
+    for item in items:
+        if item in seen:
+            duplicates.append(item)
+        seen.add(item)
+    if duplicates:
+        raise ValueError(f"{name} contains duplicates: {duplicates}")
+    return items

@@ -1,0 +1,81 @@
+"""Tests for the baseline diagnosers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    FaultDictionaryDiagnoser,
+    NaiveBayesDiagnoser,
+    NearestNeighborDiagnoser,
+)
+from repro.core import CaseGenerator
+from repro.exceptions import DiagnosisError
+
+
+@pytest.fixture(scope="module")
+def training_data(regulator_circuit, regulator_population):
+    generator = CaseGenerator(regulator_circuit.model)
+    cases = generator.cases_from_results(regulator_population.failing_results)
+    true_blocks = {device: fault.block
+                   for device, fault in regulator_population.ground_truth.items()}
+    return cases, true_blocks
+
+
+class TestFaultDictionary:
+    def test_fit_and_diagnose_training_device(self, regulator_population):
+        true_blocks = {device: fault.block
+                       for device, fault in regulator_population.ground_truth.items()}
+        diagnoser = FaultDictionaryDiagnoser().fit(
+            regulator_population.failing_results, true_blocks)
+        result = regulator_population.failing_results[0]
+        ranking = diagnoser.rank(result)
+        assert ranking[0][1] <= ranking[-1][1]
+        assert diagnoser.rank_of(result, true_blocks[result.device_id]) <= len(ranking)
+
+    def test_unfitted_raises(self, regulator_population):
+        with pytest.raises(DiagnosisError):
+            FaultDictionaryDiagnoser().rank(regulator_population.results[0])
+
+    def test_missing_ground_truth_rejected(self, regulator_population):
+        with pytest.raises(DiagnosisError):
+            FaultDictionaryDiagnoser().fit(regulator_population.failing_results, {})
+
+
+class TestNearestNeighbor:
+    def test_fit_and_diagnose(self, training_data):
+        cases, true_blocks = training_data
+        diagnoser = NearestNeighborDiagnoser(k=3).fit(cases, true_blocks)
+        evidence = cases[0].observed()
+        ranking = diagnoser.rank(evidence)
+        assert ranking[0][1] >= ranking[-1][1]
+        assert diagnoser.diagnose(evidence) == ranking[0][0]
+
+    def test_invalid_k(self):
+        with pytest.raises(DiagnosisError):
+            NearestNeighborDiagnoser(k=0)
+
+    def test_fit_without_ground_truth_raises(self, training_data):
+        cases, _ = training_data
+        with pytest.raises(DiagnosisError):
+            NearestNeighborDiagnoser().fit(cases, {})
+
+
+class TestNaiveBayes:
+    def test_fit_and_rank_is_distribution(self, training_data):
+        cases, true_blocks = training_data
+        diagnoser = NaiveBayesDiagnoser().fit(cases, true_blocks)
+        ranking = diagnoser.rank(cases[0].observed())
+        assert sum(p for _, p in ranking) == pytest.approx(1.0)
+        assert diagnoser.rank_of(cases[0].observed(),
+                                 next(iter(true_blocks.values()))) >= 1
+
+    def test_unknown_block_posterior_raises(self, training_data):
+        cases, true_blocks = training_data
+        diagnoser = NaiveBayesDiagnoser().fit(cases, true_blocks)
+        with pytest.raises(DiagnosisError):
+            diagnoser.log_posterior("not_a_block", {})
+
+    def test_invalid_alpha(self):
+        with pytest.raises(DiagnosisError):
+            NaiveBayesDiagnoser(alpha=0.0)

@@ -1,0 +1,94 @@
+"""Tests for tabular CPDs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.cpd import TabularCPD, random_cpd, uniform_cpd
+from repro.exceptions import CPDError
+
+
+class TestValidation:
+    def test_columns_must_sum_to_one(self):
+        with pytest.raises(CPDError):
+            TabularCPD("a", 2, [[0.7, 0.2], [0.7, 0.8]], ["p"], [2])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(CPDError):
+            TabularCPD("a", 2, [[-0.1], [1.1]])
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(CPDError):
+            TabularCPD("a", 2, [[0.5, 0.5], [0.5, 0.5]], ["p"], [3])
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(CPDError):
+            TabularCPD("a", 2, [[0.5, 0.5], [0.5, 0.5]], ["a"], [2])
+
+    def test_state_name_length_checked(self):
+        with pytest.raises(CPDError):
+            TabularCPD("a", 2, [[0.5], [0.5]], state_names={"a": ["only"]})
+
+    def test_one_dimensional_root_table_accepted(self):
+        cpd = TabularCPD("a", 3, [0.2, 0.3, 0.5])
+        assert cpd.table.shape == (3, 1)
+
+
+class TestQueries:
+    def make_cpd(self) -> TabularCPD:
+        return TabularCPD("child", 2,
+                          [[0.9, 0.6, 0.3, 0.1], [0.1, 0.4, 0.7, 0.9]],
+                          ["p1", "p2"], [2, 2],
+                          state_names={"child": ["ok", "bad"],
+                                       "p1": ["lo", "hi"],
+                                       "p2": ["lo", "hi"]})
+
+    def test_parent_configuration_index_last_parent_fastest(self):
+        cpd = self.make_cpd()
+        assert cpd.parent_configuration_index({"p1": "lo", "p2": "lo"}) == 0
+        assert cpd.parent_configuration_index({"p1": "lo", "p2": "hi"}) == 1
+        assert cpd.parent_configuration_index({"p1": "hi", "p2": "lo"}) == 2
+        assert cpd.parent_configuration_index({"p1": "hi", "p2": "hi"}) == 3
+
+    def test_distribution_and_probability(self):
+        cpd = self.make_cpd()
+        distribution = cpd.distribution({"p1": "hi", "p2": "lo"})
+        assert np.isclose(distribution["ok"], 0.3)
+        assert np.isclose(cpd.probability("bad", {"p1": "hi", "p2": "lo"}), 0.7)
+
+    def test_probability_by_index(self):
+        cpd = self.make_cpd()
+        assert np.isclose(cpd.probability(0, {"p1": 0, "p2": 0}), 0.9)
+
+    def test_missing_parent_raises(self):
+        with pytest.raises(CPDError):
+            self.make_cpd().parent_configuration_index({"p1": "lo"})
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(CPDError):
+            self.make_cpd().probability("nope", {"p1": "lo", "p2": "lo"})
+
+    def test_to_factor_round_trip(self):
+        cpd = self.make_cpd()
+        factor = cpd.to_factor()
+        for p1 in ("lo", "hi"):
+            for p2 in ("lo", "hi"):
+                for child in ("ok", "bad"):
+                    assert np.isclose(
+                        factor.get({"child": child, "p1": p1, "p2": p2}),
+                        cpd.probability(child, {"p1": p1, "p2": p2}))
+
+    def test_copy_and_is_close_to(self):
+        cpd = self.make_cpd()
+        assert cpd.is_close_to(cpd.copy())
+
+
+class TestFactories:
+    def test_uniform_cpd(self):
+        cpd = uniform_cpd("a", 4, ["p"], [3])
+        assert np.allclose(cpd.table, 0.25)
+
+    def test_random_cpd_columns_normalised(self):
+        cpd = random_cpd("a", 3, ["p"], [4], rng=np.random.default_rng(0))
+        assert np.allclose(cpd.table.sum(axis=0), 1.0)

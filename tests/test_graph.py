@@ -1,0 +1,121 @@
+"""Tests for the directed-graph primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bayesnet.graph import DirectedGraph
+from repro.exceptions import GraphError
+
+
+def make_chain() -> DirectedGraph:
+    return DirectedGraph([("a", "b"), ("b", "c"), ("c", "d")])
+
+
+class TestConstruction:
+    def test_nodes_and_edges(self):
+        graph = make_chain()
+        assert graph.nodes == ["a", "b", "c", "d"]
+        assert ("a", "b") in graph.edges
+        assert len(graph.edges) == 3
+
+    def test_isolated_nodes(self):
+        graph = DirectedGraph(nodes=["x", "y"])
+        assert graph.nodes == ["x", "y"]
+        assert graph.edges == []
+
+    def test_duplicate_edge_is_ignored(self):
+        graph = DirectedGraph([("a", "b"), ("a", "b")])
+        assert graph.edges == [("a", "b")]
+
+    def test_self_loop_rejected(self):
+        graph = DirectedGraph()
+        with pytest.raises(GraphError):
+            graph.add_edge("a", "a")
+
+    def test_cycle_rejected(self):
+        graph = make_chain()
+        with pytest.raises(GraphError):
+            graph.add_edge("d", "a")
+
+    def test_contains_and_len(self):
+        graph = make_chain()
+        assert "a" in graph
+        assert "z" not in graph
+        assert len(graph) == 4
+
+    def test_remove_edge(self):
+        graph = make_chain()
+        graph.remove_edge("a", "b")
+        assert not graph.has_edge("a", "b")
+        assert graph.parents("b") == []
+
+
+class TestQueries:
+    def test_parents_children(self):
+        graph = DirectedGraph([("a", "c"), ("b", "c"), ("c", "d")])
+        assert graph.parents("c") == ["a", "b"]
+        assert graph.children("c") == ["d"]
+        assert graph.in_degree("c") == 2
+        assert graph.out_degree("c") == 1
+
+    def test_roots_and_leaves(self):
+        graph = DirectedGraph([("a", "c"), ("b", "c"), ("c", "d")])
+        assert set(graph.roots()) == {"a", "b"}
+        assert graph.leaves() == ["d"]
+
+    def test_unknown_node_raises(self):
+        graph = make_chain()
+        with pytest.raises(GraphError):
+            graph.parents("zzz")
+
+    def test_ancestors_descendants(self):
+        graph = DirectedGraph([("a", "b"), ("b", "c"), ("x", "c")])
+        assert graph.ancestors("c") == {"a", "b", "x"}
+        assert graph.descendants("a") == {"b", "c"}
+        assert graph.ancestral_set(["b"]) == {"a", "b"}
+
+    def test_topological_sort_parents_first(self):
+        graph = DirectedGraph([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+        order = graph.topological_sort()
+        for parent, child in graph.edges:
+            assert order.index(parent) < order.index(child)
+
+    def test_copy_is_independent(self):
+        graph = make_chain()
+        clone = graph.copy()
+        clone.add_edge("a", "d")
+        assert not graph.has_edge("a", "d")
+
+    def test_subgraph(self):
+        graph = make_chain()
+        sub = graph.subgraph(["a", "b", "d"])
+        assert set(sub.nodes) == {"a", "b", "d"}
+        assert sub.edges == [("a", "b")]
+
+
+class TestMoralGraphAndDSeparation:
+    def test_moral_graph_marries_parents(self):
+        graph = DirectedGraph([("a", "c"), ("b", "c")])
+        moral = graph.moral_graph()
+        assert "b" in moral["a"]
+        assert "a" in moral["b"]
+        assert "c" in moral["a"]
+
+    def test_chain_d_separation(self):
+        graph = DirectedGraph([("a", "b"), ("b", "c")])
+        assert not graph.is_d_separated("a", "c")
+        assert graph.is_d_separated("a", "c", observed=["b"])
+
+    def test_common_cause_d_separation(self):
+        graph = DirectedGraph([("b", "a"), ("b", "c")])
+        assert not graph.is_d_separated("a", "c")
+        assert graph.is_d_separated("a", "c", observed=["b"])
+
+    def test_collider_d_separation(self):
+        graph = DirectedGraph([("a", "c"), ("b", "c"), ("c", "d")])
+        # Unobserved collider blocks the path.
+        assert graph.is_d_separated("a", "b")
+        # Observing the collider (or its descendant) opens the path.
+        assert not graph.is_d_separated("a", "b", observed=["c"])
+        assert not graph.is_d_separated("a", "b", observed=["d"])

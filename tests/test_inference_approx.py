@@ -1,0 +1,73 @@
+"""Approximate-inference tests: likelihood weighting and Gibbs sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import GibbsSampling, LikelihoodWeighting, VariableElimination
+from repro.exceptions import InferenceError
+
+
+class TestLikelihoodWeighting:
+    def test_close_to_exact(self, sprinkler_network):
+        evidence = {"wet": "1"}
+        exact = VariableElimination(sprinkler_network).posterior("rain", evidence)
+        approx = LikelihoodWeighting(sprinkler_network, num_samples=20000,
+                                     seed=1).posterior("rain", evidence)
+        assert abs(exact["1"] - approx["1"]) < 0.02
+
+    def test_no_evidence_matches_prior(self, sprinkler_network):
+        exact = VariableElimination(sprinkler_network).posterior("cloudy")
+        approx = LikelihoodWeighting(sprinkler_network, num_samples=20000,
+                                     seed=2).posterior("cloudy")
+        assert abs(exact["0"] - approx["0"]) < 0.02
+
+    def test_reproducible_with_seed(self, sprinkler_network):
+        first = LikelihoodWeighting(sprinkler_network, 500, seed=3).posterior(
+            "rain", {"wet": "1"})
+        second = LikelihoodWeighting(sprinkler_network, 500, seed=3).posterior(
+            "rain", {"wet": "1"})
+        assert first == second
+
+    def test_posteriors_multi(self, sprinkler_network):
+        result = LikelihoodWeighting(sprinkler_network, 2000, seed=4).posteriors(
+            ["rain", "sprinkler"], {"wet": "1"})
+        assert set(result) == {"rain", "sprinkler"}
+        for distribution in result.values():
+            assert np.isclose(sum(distribution.values()), 1.0)
+
+    def test_invalid_sample_count(self, sprinkler_network):
+        with pytest.raises(InferenceError):
+            LikelihoodWeighting(sprinkler_network, num_samples=0)
+
+    def test_query_evidence_overlap_raises(self, sprinkler_network):
+        engine = LikelihoodWeighting(sprinkler_network, 100, seed=5)
+        with pytest.raises(InferenceError):
+            engine.query(["wet"], {"wet": "1"})
+
+
+class TestGibbsSampling:
+    def test_close_to_exact(self, sprinkler_network):
+        evidence = {"wet": "1"}
+        exact = VariableElimination(sprinkler_network).posterior("rain", evidence)
+        approx = GibbsSampling(sprinkler_network, num_samples=4000, burn_in=300,
+                               seed=6).posterior("rain", evidence)
+        assert abs(exact["1"] - approx["1"]) < 0.05
+
+    def test_sample_respects_evidence(self, sprinkler_network):
+        samples = GibbsSampling(sprinkler_network, num_samples=50, burn_in=10,
+                                seed=7).sample({"wet": "1"})
+        assert all(sample["wet"] == 1 for sample in samples)
+
+    def test_posteriors_normalised(self, sprinkler_network):
+        result = GibbsSampling(sprinkler_network, num_samples=500, burn_in=50,
+                               seed=8).posteriors(["rain", "cloudy"], {"wet": "1"})
+        for distribution in result.values():
+            assert np.isclose(sum(distribution.values()), 1.0)
+
+    def test_invalid_parameters(self, sprinkler_network):
+        with pytest.raises(InferenceError):
+            GibbsSampling(sprinkler_network, num_samples=0)
+        with pytest.raises(InferenceError):
+            GibbsSampling(sprinkler_network, num_samples=10, thin=0)

@@ -1,0 +1,73 @@
+"""Tests for the BayesianNetwork container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import BayesianNetwork, TabularCPD
+from repro.exceptions import NetworkError
+
+
+class TestModelChecking:
+    def test_check_model_passes(self, sprinkler_network):
+        assert sprinkler_network.check_model()
+
+    def test_missing_cpd_detected(self):
+        network = BayesianNetwork([("a", "b")])
+        network.add_cpd(TabularCPD("a", 2, [[0.5], [0.5]]))
+        with pytest.raises(NetworkError):
+            network.check_model()
+
+    def test_wrong_parents_rejected(self):
+        network = BayesianNetwork([("a", "b")])
+        with pytest.raises(NetworkError):
+            network.add_cpd(TabularCPD("b", 2, [[0.5], [0.5]]))
+
+    def test_inconsistent_cardinality_detected(self):
+        network = BayesianNetwork([("a", "b")])
+        network.add_cpd(TabularCPD("a", 3, [[0.2], [0.3], [0.5]]))
+        network.add_cpd(TabularCPD("b", 2, [[0.5, 0.5], [0.5, 0.5]], ["a"], [2]))
+        with pytest.raises(NetworkError):
+            network.check_model()
+
+    def test_unknown_node_cpd_rejected(self, sprinkler_network):
+        with pytest.raises(NetworkError):
+            sprinkler_network.add_cpd(TabularCPD("mystery", 2, [[0.5], [0.5]]))
+
+
+class TestJointProbability:
+    def test_joint_probability_product_rule(self, sprinkler_network):
+        probability = sprinkler_network.joint_probability(
+            {"cloudy": 0, "sprinkler": 0, "rain": 0, "wet": 0})
+        assert np.isclose(probability, 0.5 * 0.5 * 0.8 * 1.0)
+
+    def test_joint_distribution_sums_to_one(self, sprinkler_network):
+        joint = sprinkler_network.joint_distribution()
+        assert np.isclose(joint.values.sum(), 1.0)
+
+    def test_log_likelihood_matches_joint(self, sprinkler_network):
+        case = {"cloudy": 1, "sprinkler": 0, "rain": 1, "wet": 1}
+        expected = np.log(sprinkler_network.joint_probability(case))
+        assert np.isclose(sprinkler_network.log_likelihood([case]), expected)
+
+
+class TestUtilities:
+    def test_markov_blanket(self, sprinkler_network):
+        blanket = sprinkler_network.markov_blanket("sprinkler")
+        assert blanket == {"cloudy", "wet", "rain"}
+
+    def test_copy_independence(self, sprinkler_network):
+        clone = sprinkler_network.copy()
+        clone.get_cpd("cloudy").table[0, 0] = 0.99
+        assert sprinkler_network.get_cpd("cloudy").table[0, 0] == 0.5
+
+    def test_with_uniform_cpds(self, sprinkler_network):
+        uniform = sprinkler_network.with_uniform_cpds(
+            {node: 2 for node in sprinkler_network.nodes})
+        uniform.check_model()
+        assert np.allclose(uniform.get_cpd("wet").table, 0.5)
+
+    def test_state_names_and_cardinality(self, sprinkler_network):
+        assert sprinkler_network.cardinality("wet") == 2
+        assert sprinkler_network.state_names("wet") == ["0", "1"]

@@ -1,0 +1,58 @@
+"""Tests for forward and rejection sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import VariableElimination
+from repro.bayesnet.sampling import ForwardSampler, sample_dataset
+from repro.exceptions import InferenceError
+
+
+class TestForwardSampler:
+    def test_sample_contains_all_variables(self, sprinkler_network):
+        sample = ForwardSampler(sprinkler_network, seed=1).sample_one()
+        assert set(sample) == set(sprinkler_network.nodes)
+
+    def test_sample_frequencies_match_marginals(self, sprinkler_network):
+        samples = ForwardSampler(sprinkler_network, seed=2).sample(5000)
+        rain_rate = np.mean([s["rain"] == "1" for s in samples])
+        exact = VariableElimination(sprinkler_network).posterior("rain")["1"]
+        assert abs(rain_rate - exact) < 0.03
+
+    def test_index_mode(self, sprinkler_network):
+        sample = ForwardSampler(sprinkler_network, seed=3).sample_one(as_names=False)
+        assert all(isinstance(value, int) for value in sample.values())
+
+    def test_negative_count_raises(self, sprinkler_network):
+        with pytest.raises(InferenceError):
+            ForwardSampler(sprinkler_network, seed=4).sample(-1)
+
+    def test_rejection_sampling_respects_evidence(self, sprinkler_network):
+        samples = ForwardSampler(sprinkler_network, seed=5).rejection_sample(
+            20, {"wet": "1"})
+        assert len(samples) == 20
+        assert all(sample["wet"] == "1" for sample in samples)
+
+    def test_rejection_sampling_impossible_evidence(self, sprinkler_network):
+        with pytest.raises(InferenceError):
+            ForwardSampler(sprinkler_network, seed=6).rejection_sample(
+                5, {"wet": "1", "sprinkler": "0", "rain": "0"},
+                max_attempts=200)
+
+
+class TestSampleDataset:
+    def test_missing_fraction_zero(self, sprinkler_network):
+        cases = sample_dataset(sprinkler_network, 50, seed=7)
+        assert all(None not in case.values() for case in cases)
+
+    def test_missing_fraction_hides_entries(self, sprinkler_network):
+        cases = sample_dataset(sprinkler_network, 300, seed=8, missing_fraction=0.4)
+        missing = sum(value is None for case in cases for value in case.values())
+        total = sum(len(case) for case in cases)
+        assert 0.3 < missing / total < 0.5
+
+    def test_invalid_fraction_raises(self, sprinkler_network):
+        with pytest.raises(InferenceError):
+            sample_dataset(sprinkler_network, 10, missing_fraction=1.5)

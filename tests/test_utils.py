@@ -1,0 +1,80 @@
+"""Tests for the shared utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability_vector,
+    check_unique,
+    ensure_rng,
+    format_probability_table,
+    format_table,
+)
+from repro.utils.rng import spawn_rng
+
+
+class TestRng:
+    def test_ensure_rng_from_seed_is_reproducible(self):
+        assert ensure_rng(5).integers(1000) == ensure_rng(5).integers(1000)
+
+    def test_ensure_rng_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert ensure_rng(generator) is generator
+
+    def test_spawn_rng_is_independent(self):
+        parent = ensure_rng(2)
+        child = spawn_rng(parent)
+        assert child is not parent
+
+
+class TestValidation:
+    def test_probability_vector_accepts_valid(self):
+        check_probability_vector([0.2, 0.3, 0.5])
+
+    def test_probability_vector_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([0.2, 0.2])
+
+    def test_probability_vector_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([-0.1, 1.1])
+
+    def test_check_positive_and_non_negative(self):
+        assert check_positive(1.0) == 1.0
+        assert check_non_negative(0.0) == 0.0
+        with pytest.raises(ValueError):
+            check_positive(0.0)
+        with pytest.raises(ValueError):
+            check_non_negative(-1.0)
+
+    def test_check_in_range(self):
+        assert check_in_range(0.5, 0.0, 1.0) == 0.5
+        with pytest.raises(ValueError):
+            check_in_range(2.0, 0.0, 1.0)
+
+    def test_check_unique(self):
+        assert check_unique(["a", "b"]) == ["a", "b"]
+        with pytest.raises(ValueError):
+            check_unique(["a", "a"])
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["Name", "Value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_format_probability_table(self):
+        text = format_probability_table({"reg1": {"0": 0.25, "1": 0.75}})
+        assert "75.00" in text
+        assert "reg1" in text
