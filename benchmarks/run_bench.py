@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Run the benchmark harness and snapshot kernel medians to ``BENCH_<n>.json``.
+
+Runs ``pytest benchmarks/ --benchmark-only`` (all seeds are fixed in
+``benchmarks/conftest.py``, so successive runs regenerate the same artefacts)
+and writes a ``BENCH_<n>.json`` snapshot mapping every benchmark kernel to
+its median runtime in seconds.  ``<n>`` is one past the highest existing
+snapshot, so the sequence ``BENCH_0.json, BENCH_1.json, ...`` tracks the
+performance trajectory across PRs.  When a previous snapshot exists, the new
+snapshot also records the per-kernel speedup against it.
+
+Usage::
+
+    python benchmarks/run_bench.py [--output-dir DIR] [--keyword EXPR]
+
+``--keyword`` is forwarded to ``pytest -k`` to restrict the run while
+iterating; full snapshots should run the whole harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def next_snapshot_index(output_dir: Path) -> int:
+    indices = [int(match.group(1))
+               for path in output_dir.glob("BENCH_*.json")
+               if (match := SNAPSHOT_PATTERN.match(path.name))]
+    return max(indices) + 1 if indices else 0
+
+
+def load_medians(snapshot_path: Path) -> dict[str, float]:
+    data = json.loads(snapshot_path.read_text())
+    return {name: entry["median_s"] for name, entry in data["kernels"].items()}
+
+
+def run_benchmarks(keyword: str | None) -> tuple[int, dict[str, float]]:
+    """Run the harness; return the pytest exit code and kernel medians."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "benchmark.json"
+        command = [sys.executable, "-m", "pytest", "benchmarks/",
+                   "--benchmark-only", "-q",
+                   f"--benchmark-json={json_path}"]
+        if keyword:
+            command += ["-k", keyword]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+        if not json_path.exists():
+            raise SystemExit(
+                f"pytest did not produce {json_path} (exit {completed.returncode}); "
+                "is pytest-benchmark installed?")
+        report = json.loads(json_path.read_text())
+    medians = {bench["name"]: float(bench["stats"]["median"])
+               for bench in report["benchmarks"]}
+    return completed.returncode, medians
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output-dir", type=Path, default=REPO_ROOT,
+                        help="where BENCH_<n>.json snapshots live (repo root)")
+    parser.add_argument("--keyword", default=None,
+                        help="pytest -k expression to restrict the run")
+    args = parser.parse_args()
+
+    output_dir = args.output_dir.resolve()
+    index = next_snapshot_index(output_dir)
+    previous = output_dir / f"BENCH_{index - 1}.json" if index else None
+
+    exit_code, medians = run_benchmarks(args.keyword)
+    snapshot: dict[str, object] = {
+        "snapshot": index,
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"),
+        "command": "pytest benchmarks/ --benchmark-only"
+                   + (f" -k {args.keyword}" if args.keyword else ""),
+        "pytest_exit_code": exit_code,
+        "kernels": {name: {"median_s": median}
+                    for name, median in sorted(medians.items())},
+    }
+
+    if previous is not None and previous.exists():
+        baseline = load_medians(previous)
+        speedups = {}
+        for name, median in medians.items():
+            if name in baseline and median > 0:
+                entry = snapshot["kernels"][name]
+                entry["baseline_median_s"] = baseline[name]
+                entry["speedup_vs_previous"] = round(baseline[name] / median, 3)
+                speedups[name] = entry["speedup_vs_previous"]
+        snapshot["baseline_snapshot"] = previous.name
+        snapshot["speedup_vs_previous"] = speedups
+
+    target = output_dir / f"BENCH_{index}.json"
+    target.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {target}")
+    for name, entry in sorted(snapshot["kernels"].items()):
+        line = f"  {name}: {entry['median_s']:.6f}s"
+        if "speedup_vs_previous" in entry:
+            line += f" ({entry['speedup_vs_previous']}x vs {previous.name})"
+        print(line)
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,9 +18,9 @@ from repro.utils.tables import format_table
 
 def score_engine(engine):
     exact = overlap = 0
-    for case in PAPER_DIAGNOSTIC_CASES:
-        suspects = set(engine.diagnose(case).suspects)
-        expected = set(PAPER_EXPECTED_SUSPECTS[case.name])
+    for diagnosis in engine.diagnose_batch(PAPER_DIAGNOSTIC_CASES):
+        suspects = set(diagnosis.suspects)
+        expected = set(PAPER_EXPECTED_SUSPECTS[diagnosis.case_name])
         exact += suspects == expected
         overlap += bool(suspects & expected)
     return exact, overlap

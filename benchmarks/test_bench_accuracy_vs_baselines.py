@@ -41,16 +41,21 @@ def evaluate(regulator_circuit, regulator_program, diagnosis_engine):
     # Evaluation population restricted to internal-block faults (observable
     # blocks are read straight off the responses and need no inference).
     evaluation = generator.generate(failed_count=EVALUATION_DEVICES)
-    bbn_metrics = DiagnosisMetrics()
-    nn_top1 = nb_top1 = nn_top3 = nb_top3 = scored = 0
+    evidences, true_blocks = [], []
     for result in evaluation.failing_results:
         true_block = evaluation.ground_truth[result.device_id].block
         if true_block not in internal:
             continue
         cases = case_generator.cases_from_device_result(result)
         failing = [case for case in cases if case.failed] or cases
-        evidence = failing[0].observed()
-        bbn_metrics.record(diagnosis_engine.diagnose_evidence(evidence), true_block)
+        evidences.append(failing[0].observed())
+        true_blocks.append(true_block)
+
+    bbn_metrics = DiagnosisMetrics()
+    nn_top1 = nb_top1 = nn_top3 = nb_top3 = scored = 0
+    diagnoses = diagnosis_engine.diagnose_batch(evidences)
+    for diagnosis, evidence, true_block in zip(diagnoses, evidences, true_blocks):
+        bbn_metrics.record(diagnosis, true_block)
         nn_rank = nearest.rank_of(evidence, true_block)
         nb_rank = naive.rank_of(evidence, true_block)
         nn_top1 += nn_rank == 1

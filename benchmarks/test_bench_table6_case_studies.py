@@ -13,8 +13,7 @@ from repro.core.report import case_summary_table
 
 
 def test_bench_table6_case_studies(benchmark, diagnosis_engine):
-    diagnoses = benchmark(
-        lambda: [diagnosis_engine.diagnose(case) for case in PAPER_DIAGNOSTIC_CASES])
+    diagnoses = benchmark(diagnosis_engine.diagnose_batch, PAPER_DIAGNOSTIC_CASES)
 
     print()
     print(case_summary_table(PAPER_DIAGNOSTIC_CASES, diagnoses))

@@ -18,7 +18,7 @@ from repro.core.paper_cases import PAPER_DIAGNOSTIC_CASES, PAPER_INTERNAL_PROBAB
 
 def build_report(engine, built_model):
     initial = engine.initial_probabilities()
-    diagnoses = [engine.diagnose(case) for case in PAPER_DIAGNOSTIC_CASES]
+    diagnoses = engine.diagnose_batch(PAPER_DIAGNOSTIC_CASES)
     return DiagnosticReport(built_model, initial, diagnoses), diagnoses
 
 

@@ -50,6 +50,11 @@ def main() -> None:
     internal = set(circuit.model.internal_variables)
     per_block = defaultdict(lambda: {"devices": 0, "suspect": 0, "top3": 0,
                                      "masked": 0})
+    # Collect every failing device's evidence first, then diagnose the whole
+    # population in one batched sweep against the shared engine (duplicate
+    # failing conditions hit the engine's evidence cache).
+    evidences: list[dict[str, str]] = []
+    faulted_blocks: list[str] = []
     for fault in circuit.fault_universe.enumerate():
         if fault.block not in internal:
             continue
@@ -62,11 +67,15 @@ def main() -> None:
                 continue
             cases = case_generator.cases_from_device_result(result)
             failing = [case for case in cases if case.failed]
-            diagnosis = engine.diagnose_evidence(failing[0].observed())
-            if fault.block in diagnosis.suspects:
-                stats["suspect"] += 1
-            if diagnosis.rank_of(fault.block) <= 3:
-                stats["top3"] += 1
+            evidences.append(failing[0].observed())
+            faulted_blocks.append(fault.block)
+
+    for diagnosis, block in zip(engine.diagnose_batch(evidences), faulted_blocks):
+        stats = per_block[block]
+        if block in diagnosis.suspects:
+            stats["suspect"] += 1
+        if diagnosis.rank_of(block) <= 3:
+            stats["top3"] += 1
 
     rows = []
     for block in sorted(per_block):

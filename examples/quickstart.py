@@ -53,7 +53,7 @@ def main() -> None:
 
     # 5. Diagnostic mode: the five Table VI case studies.
     engine = DiagnosisEngine(built)
-    diagnoses = [engine.diagnose(case) for case in PAPER_DIAGNOSTIC_CASES]
+    diagnoses = engine.diagnose_batch(PAPER_DIAGNOSTIC_CASES)
     print()
     print(case_summary_table(PAPER_DIAGNOSTIC_CASES, diagnoses))
     print()

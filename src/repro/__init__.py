@@ -19,6 +19,41 @@ package:
 * :mod:`repro.baselines` — fault-dictionary, nearest-neighbour and
   naive-Bayes diagnosers used as comparison baselines.
 
+Performance architecture
+------------------------
+
+The serving loop of diagnosis is *compute-once, query-many*: every failing
+device asks for the posterior of all ~19 model variables, and the population
+workflows (customer returns, fault-coverage and training-set-size sweeps)
+multiply that by hundreds of cases.  The stack is organised around that
+access pattern:
+
+* **Factor kernels** — :class:`~repro.bayesnet.factor.DiscreteFactor`
+  validates only at the public boundary; trusted intermediate results use a
+  no-validation fast constructor, variable/state lookups are dict-backed,
+  and :func:`~repro.bayesnet.factor.contract_factors` multiplies a whole
+  bucket of factors and sums out eliminated variables in one ``einsum``
+  call.
+* **Single-pass marginals** — ``posteriors`` on both exact engines answers
+  *all* requested marginals from one sweep: the junction tree calibrates
+  once per evidence set and reads every clique, and variable elimination
+  runs one shared-bucket forward/backward pass over its bucket tree.  Both
+  engines cache results keyed by the evidence signature, so repeated
+  queries on the same failing condition are near-free (the ``sweep_count``
+  / ``calibration_count`` attributes expose this for testing).
+* **Vectorised sampling** — the forward, likelihood-weighting and Gibbs
+  samplers draw whole batches as integer state arrays with row-indexed CPT
+  lookups (Gibbs advances parallel chains in lock-step) instead of
+  per-sample Python dict loops.
+* **Batched diagnosis** —
+  :meth:`~repro.core.diagnosis.DiagnosisEngine.diagnose_batch` amortises
+  engine construction and per-case posterior sweeps across a population and
+  is the intended entry point for population-scale workloads.
+
+``benchmarks/run_bench.py`` snapshots every benchmark kernel's median
+runtime to ``BENCH_<n>.json`` so the performance trajectory is tracked
+across PRs.
+
 Quickstart
 ----------
 

@@ -61,11 +61,23 @@ class DevicePopulation:
         return [result.to_datalog() for result in self.results]
 
     def result_for(self, device_id: str) -> DeviceResult:
-        """Return the result of one device."""
-        for result in self.results:
-            if result.device_id == device_id:
-                return result
-        raise ATEError(f"no device {device_id!r} in the population")
+        """Return the result of one device (O(1) dict-backed lookup).
+
+        The index is rebuilt whenever ``results`` changes length (the only
+        mutation the generators perform is appending); first occurrence wins
+        for duplicate device ids, matching the previous linear scan.
+        """
+        cached = self.__dict__.get("_result_index")
+        if cached is None or cached[1] != len(self.results):
+            index: dict[str, DeviceResult] = {}
+            for result in self.results:
+                index.setdefault(result.device_id, result)
+            cached = (index, len(self.results))
+            self.__dict__["_result_index"] = cached
+        try:
+            return cached[0][device_id]
+        except KeyError:
+            raise ATEError(f"no device {device_id!r} in the population") from None
 
     def __len__(self) -> int:
         return len(self.results)

@@ -9,6 +9,17 @@ axis per variable, in the order of :attr:`DiscreteFactor.variables`.
 State names are first-class: the paper's model variables have named states
 ("Non-Operational", "nominal level", ...), and the diagnostic reports are
 expressed in those names, so every factor carries a ``state_names`` mapping.
+
+Performance notes
+-----------------
+The public constructor validates everything (shape, non-negativity, state
+names); the inference engines produce millions of *trusted* intermediate
+factors per population sweep, so those go through
+:meth:`DiscreteFactor._from_parts`, which skips re-validation.  Variable and
+state lookups are dict-backed instead of ``list.index`` scans, and the
+product/marginalise hot path of the engines is a single
+:func:`contract_factors` ``einsum`` kernel that multiplies a whole bucket of
+factors and sums out the eliminated variables in one call.
 """
 
 from __future__ import annotations
@@ -18,6 +29,10 @@ from collections.abc import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.exceptions import FactorError
+
+#: numpy's einsum supports at most 52 distinct subscript labels; contractions
+#: over wider scopes fall back to pairwise products.
+_MAX_EINSUM_VARIABLES = 52
 
 
 class DiscreteFactor:
@@ -74,6 +89,28 @@ class DiscreteFactor:
                 raise FactorError(
                     f"variable {variable!r} has duplicate state names: {names}")
             self.state_names[variable] = names
+        self._axes: dict[str, int] = {v: i for i, v in enumerate(variables)}
+        self._state_lookup: dict[str, dict[str, int]] | None = None
+
+    @classmethod
+    def _from_parts(cls, variables: list[str], cardinalities: list[int],
+                    values: np.ndarray,
+                    state_names: dict[str, list[str]]) -> "DiscreteFactor":
+        """Trusted fast constructor for internal intermediate results.
+
+        Skips every validation step of ``__init__``: the caller guarantees
+        that ``values`` is a float ndarray already shaped to
+        ``cardinalities``, that the lists are aligned and that
+        ``state_names`` covers exactly ``variables``.
+        """
+        self = object.__new__(cls)
+        self.variables = variables
+        self.cardinalities = cardinalities
+        self.values = values
+        self.state_names = state_names
+        self._axes = {v: i for i, v in enumerate(variables)}
+        self._state_lookup = None
+        return self
 
     # ----------------------------------------------------------------- helpers
     def cardinality(self, variable: str) -> int:
@@ -82,8 +119,8 @@ class DiscreteFactor:
 
     def _axis(self, variable: str) -> int:
         try:
-            return self.variables.index(variable)
-        except ValueError:
+            return self._axes[variable]
+        except KeyError:
             raise FactorError(
                 f"variable {variable!r} is not in factor over {self.variables}") from None
 
@@ -92,7 +129,8 @@ class DiscreteFactor:
 
         ``state`` may be a state name or an integer index.
         """
-        names = self.state_names[self.variables[self._axis(variable)]]
+        self._axis(variable)
+        names = self.state_names[variable]
         if isinstance(state, (int, np.integer)):
             index = int(state)
             if not 0 <= index < len(names):
@@ -100,17 +138,21 @@ class DiscreteFactor:
                     f"state index {index} out of range for variable {variable!r} "
                     f"with {len(names)} states")
             return index
+        if self._state_lookup is None:
+            self._state_lookup = {v: {name: i for i, name in enumerate(self.state_names[v])}
+                                  for v in self.variables}
         try:
-            return names.index(str(state))
-        except ValueError:
+            return self._state_lookup[variable][str(state)]
+        except KeyError:
             raise FactorError(
                 f"unknown state {state!r} for variable {variable!r}; "
                 f"known states: {names}") from None
 
     def copy(self) -> "DiscreteFactor":
         """Return an independent copy of the factor."""
-        return DiscreteFactor(self.variables, self.cardinalities,
-                              self.values.copy(), self.state_names)
+        return DiscreteFactor._from_parts(
+            list(self.variables), list(self.cardinalities), self.values.copy(),
+            {v: list(self.state_names[v]) for v in self.variables})
 
     # -------------------------------------------------------------- operations
     def product(self, other: "DiscreteFactor") -> "DiscreteFactor":
@@ -118,23 +160,7 @@ class DiscreteFactor:
 
         Shared variables must agree on cardinality and state names.
         """
-        result_vars = list(self.variables)
-        result_cards = list(self.cardinalities)
-        result_states = {v: list(self.state_names[v]) for v in self.variables}
-        for variable, card in zip(other.variables, other.cardinalities):
-            if variable in result_states:
-                if result_states[variable] != other.state_names[variable]:
-                    raise FactorError(
-                        f"state-name mismatch for shared variable {variable!r}: "
-                        f"{result_states[variable]} vs {other.state_names[variable]}")
-            else:
-                result_vars.append(variable)
-                result_cards.append(card)
-                result_states[variable] = list(other.state_names[variable])
-
-        left = self._broadcast_to(result_vars, result_cards)
-        right = other._broadcast_to(result_vars, result_cards)
-        return DiscreteFactor(result_vars, result_cards, left * right, result_states)
+        return contract_factors([self, other], check_states=True)
 
     def _broadcast_to(self, variables: Sequence[str],
                       cardinalities: Sequence[int]) -> np.ndarray:
@@ -147,7 +173,7 @@ class DiscreteFactor:
         variables = list(variables)
         cardinalities = list(cardinalities)
         if not self.variables:
-            return np.broadcast_to(self.values, cardinalities).astype(float)
+            return np.broadcast_to(self.values, cardinalities)
         dest_axes = [variables.index(v) for v in self.variables]
         shape = [1] * len(variables)
         for axis, variable in enumerate(self.variables):
@@ -157,47 +183,60 @@ class DiscreteFactor:
         order = np.argsort(dest_axes)
         transposed = np.transpose(self.values, axes=order)
         reshaped = transposed.reshape(shape)
-        return np.broadcast_to(reshaped, cardinalities).astype(float)
+        return np.broadcast_to(reshaped, cardinalities)
 
     def marginalize(self, variables: Iterable[str]) -> "DiscreteFactor":
         """Sum out ``variables`` and return the resulting factor."""
-        to_remove = list(variables)
-        for variable in to_remove:
+        to_remove = set()
+        for variable in variables:
             self._axis(variable)
+            to_remove.add(variable)
+        if not to_remove:
+            return DiscreteFactor._from_parts(
+                list(self.variables), list(self.cardinalities),
+                self.values.copy(), dict(self.state_names))
+        axes = tuple(self._axes[v] for v in to_remove)
         keep = [v for v in self.variables if v not in to_remove]
-        axes = tuple(self._axis(v) for v in to_remove)
-        values = self.values.sum(axis=axes) if axes else self.values.copy()
-        cards = [self.cardinality(v) for v in keep]
-        states = {v: self.state_names[v] for v in keep}
-        return DiscreteFactor(keep, cards, values, states)
+        return DiscreteFactor._from_parts(
+            keep, [self.cardinalities[self._axes[v]] for v in keep],
+            self.values.sum(axis=axes),
+            {v: self.state_names[v] for v in keep})
 
     def maximize(self, variables: Iterable[str]) -> "DiscreteFactor":
         """Max out ``variables`` (used for MAP-style queries)."""
-        to_remove = list(variables)
-        for variable in to_remove:
+        to_remove = set()
+        for variable in variables:
             self._axis(variable)
+            to_remove.add(variable)
+        if not to_remove:
+            return DiscreteFactor._from_parts(
+                list(self.variables), list(self.cardinalities),
+                self.values.copy(), dict(self.state_names))
+        axes = tuple(self._axes[v] for v in to_remove)
         keep = [v for v in self.variables if v not in to_remove]
-        axes = tuple(self._axis(v) for v in to_remove)
-        values = self.values.max(axis=axes) if axes else self.values.copy()
-        cards = [self.cardinality(v) for v in keep]
-        states = {v: self.state_names[v] for v in keep}
-        return DiscreteFactor(keep, cards, values, states)
+        return DiscreteFactor._from_parts(
+            keep, [self.cardinalities[self._axes[v]] for v in keep],
+            self.values.max(axis=axes),
+            {v: self.state_names[v] for v in keep})
 
     def reduce(self, evidence: Mapping[str, str | int]) -> "DiscreteFactor":
         """Condition on ``evidence`` (variable -> state) and drop those axes."""
         indexer: list[object] = [slice(None)] * len(self.variables)
-        drop = []
+        drop = set()
         for variable, state in evidence.items():
-            if variable not in self.variables:
+            if variable not in self._axes:
                 continue
-            axis = self._axis(variable)
-            indexer[axis] = self.state_index(variable, state)
-            drop.append(variable)
+            indexer[self._axes[variable]] = self.state_index(variable, state)
+            drop.add(variable)
+        if not drop:
+            return DiscreteFactor._from_parts(
+                list(self.variables), list(self.cardinalities),
+                self.values.copy(), dict(self.state_names))
         values = self.values[tuple(indexer)]
         keep = [v for v in self.variables if v not in drop]
-        cards = [self.cardinality(v) for v in keep]
-        states = {v: self.state_names[v] for v in keep}
-        return DiscreteFactor(keep, cards, values, states)
+        return DiscreteFactor._from_parts(
+            keep, [self.cardinalities[self._axes[v]] for v in keep],
+            values, {v: self.state_names[v] for v in keep})
 
     def normalize(self) -> "DiscreteFactor":
         """Return the factor scaled so that its entries sum to one."""
@@ -206,8 +245,9 @@ class DiscreteFactor:
             raise FactorError(
                 "cannot normalise a factor whose entries sum to zero; "
                 "the evidence is inconsistent with the model")
-        return DiscreteFactor(self.variables, self.cardinalities,
-                              self.values / total, self.state_names)
+        return DiscreteFactor._from_parts(
+            list(self.variables), list(self.cardinalities),
+            self.values / total, dict(self.state_names))
 
     def divide(self, other: "DiscreteFactor") -> "DiscreteFactor":
         """Return ``self / other`` with the 0/0 convention equal to 0.
@@ -215,17 +255,17 @@ class DiscreteFactor:
         Used by junction-tree message passing when dividing a sepset's new
         potential by its old potential.
         """
-        result_vars = list(self.variables)
-        result_cards = list(self.cardinalities)
         for variable in other.variables:
-            if variable not in result_vars:
+            if variable not in self._axes:
                 raise FactorError(
                     f"cannot divide: {variable!r} not present in numerator")
         numerator = self.values
-        denominator = other._broadcast_to(result_vars, result_cards)
+        denominator = other._broadcast_to(self.variables, self.cardinalities)
         with np.errstate(divide="ignore", invalid="ignore"):
             values = np.where(denominator > 0, numerator / denominator, 0.0)
-        return DiscreteFactor(result_vars, result_cards, values, self.state_names)
+        return DiscreteFactor._from_parts(
+            list(self.variables), list(self.cardinalities), values,
+            dict(self.state_names))
 
     # ----------------------------------------------------------------- queries
     def get(self, assignment: Mapping[str, str | int]) -> float:
@@ -269,14 +309,83 @@ class DiscreteFactor:
         return f"DiscreteFactor(variables={self.variables}, cardinalities={self.cardinalities})"
 
 
+def contract_factors(factors: Sequence[DiscreteFactor],
+                     keep: Iterable[str] | None = None,
+                     *, check_states: bool = False) -> DiscreteFactor:
+    """Multiply ``factors`` and sum out every variable not in ``keep``.
+
+    This is the shared product/marginalise kernel of the inference engines:
+    one ``einsum`` call replaces a chain of pairwise broadcast products
+    followed by a separate summation.  ``keep=None`` keeps every variable
+    (a pure product).  Variables of the result appear in first-seen order
+    across the operand factors.
+
+    With ``check_states=True`` shared variables are verified to agree on
+    their state names (the public :meth:`DiscreteFactor.product` contract);
+    internal callers operating on factors derived from a single validated
+    network skip the check.
+    """
+    factors = list(factors)
+    if not factors:
+        return DiscreteFactor._from_parts([], [], np.array(1.0), {})
+
+    order: list[str] = []
+    cards: dict[str, int] = {}
+    states: dict[str, list[str]] = {}
+    for factor in factors:
+        for variable, card in zip(factor.variables, factor.cardinalities):
+            if variable not in cards:
+                order.append(variable)
+                cards[variable] = card
+                states[variable] = factor.state_names[variable]
+            elif check_states and states[variable] != factor.state_names[variable]:
+                raise FactorError(
+                    f"state-name mismatch for shared variable {variable!r}: "
+                    f"{states[variable]} vs {factor.state_names[variable]}")
+
+    if keep is None:
+        out_vars = order
+    else:
+        keep = set(keep)
+        out_vars = [v for v in order if v in keep]
+
+    if len(order) > _MAX_EINSUM_VARIABLES:
+        result = factors[0]
+        for factor in factors[1:]:
+            result = _broadcast_product(result, factor)
+        return result.marginalize([v for v in order if v not in set(out_vars)])
+
+    subscript = {variable: i for i, variable in enumerate(order)}
+    operands: list[object] = []
+    for factor in factors:
+        operands.append(factor.values)
+        operands.append([subscript[v] for v in factor.variables])
+    operands.append([subscript[v] for v in out_vars])
+    values = np.einsum(*operands, optimize=len(factors) > 2)
+    return DiscreteFactor._from_parts(
+        out_vars, [cards[v] for v in out_vars], values,
+        {v: states[v] for v in out_vars})
+
+
+def _broadcast_product(left: DiscreteFactor, right: DiscreteFactor) -> DiscreteFactor:
+    """Pairwise product via axis broadcasting; no einsum subscript limit."""
+    result_vars = list(left.variables)
+    result_cards = list(left.cardinalities)
+    result_states = {v: left.state_names[v] for v in left.variables}
+    for variable, card in zip(right.variables, right.cardinalities):
+        if variable not in result_states:
+            result_vars.append(variable)
+            result_cards.append(card)
+            result_states[variable] = right.state_names[variable]
+    values = (left._broadcast_to(result_vars, result_cards)
+              * right._broadcast_to(result_vars, result_cards))
+    return DiscreteFactor._from_parts(result_vars, result_cards, values,
+                                      result_states)
+
+
 def factor_product(factors: Iterable[DiscreteFactor]) -> DiscreteFactor:
     """Return the product of an iterable of factors.
 
     An empty iterable yields the neutral (scalar 1.0) factor.
     """
-    result: DiscreteFactor | None = None
-    for factor in factors:
-        result = factor if result is None else result.product(factor)
-    if result is None:
-        return DiscreteFactor([], [], np.array(1.0))
-    return result
+    return contract_factors(list(factors), check_states=True)

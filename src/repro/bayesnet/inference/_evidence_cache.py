@@ -1,0 +1,87 @@
+"""Shared evidence-signature and cache machinery for the exact engines.
+
+Both exact engines follow the same compute-once, query-many pattern: a full
+sweep (shared-bucket elimination or junction-tree calibration) is cached
+keyed by the *evidence signature* — the evidence mapping with every state
+normalised to its integer index — and repeated queries on the same failing
+condition are answered from the cache.  This module keeps the signature and
+LRU semantics identical across the engines, and guards against the one way a
+cache can silently lie: replacing a CPD on the underlying network (the
+public ``add_cpd`` mutation path) drops every cached sweep.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.sampling import cpd_signature
+from repro.exceptions import InferenceError
+
+#: Number of evidence signatures whose sweeps/calibrations are kept cached.
+DEFAULT_CACHE_SIZE = 128
+
+
+def evidence_key(network: BayesianNetwork,
+                 evidence: Mapping[str, str | int]) -> tuple:
+    """Return a hashable signature of ``evidence`` with states normalised.
+
+    Raises :class:`InferenceError` for unknown evidence variables or state
+    names, so every cached path reports bad evidence the same way the
+    uncached engines do.
+    """
+    items = []
+    for variable, state in evidence.items():
+        if variable not in network.graph:
+            raise InferenceError(f"unknown evidence variable {variable!r}")
+        if isinstance(state, (int, np.integer)):
+            items.append((variable, int(state)))
+        else:
+            names = network.get_cpd(variable).state_names[variable]
+            try:
+                items.append((variable, names.index(str(state))))
+            except ValueError:
+                raise InferenceError(
+                    f"unknown state {state!r} for evidence variable "
+                    f"{variable!r}") from None
+    return tuple(sorted(items))
+
+
+class EvidenceCache:
+    """A small LRU keyed by evidence signature, dropped on CPD replacement."""
+
+    def __init__(self, network: BayesianNetwork,
+                 max_entries: int = DEFAULT_CACHE_SIZE) -> None:
+        self._network = network
+        self._max_entries = max_entries
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._cpd_ids = cpd_signature(network)
+
+    def refresh(self) -> bool:
+        """Drop every entry if the network's CPDs were replaced.
+
+        Returns ``True`` when an invalidation happened (callers with
+        derived state of their own — compiled tables, current calibration —
+        reset it on that signal).
+        """
+        signature = cpd_signature(self._network)
+        if signature == self._cpd_ids:
+            return False
+        self._entries.clear()
+        self._cpd_ids = signature
+        return True
+
+    def get(self, key: tuple):
+        """Return the cached value for ``key`` (LRU-touched) or ``None``."""
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: tuple, value: object) -> None:
+        self._entries[key] = value
+        if len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)

@@ -4,6 +4,12 @@ Gibbs sampling resamples each non-evidence variable from its full conditional
 given the current state of its Markov blanket.  It is included as a second
 approximate engine for the inference-engine comparison benchmark and as a
 cross-check of the exact engines on larger synthetic networks.
+
+The implementation is vectorised: ``chains`` independent chains advance in
+lock-step, and each per-node resampling step computes the full conditionals
+of every chain at once with row-indexed CPT gathers (no per-sample Python
+loops).  Retained samples are drawn round-robin across the chains after each
+chain's burn-in, which also improves mixing over a single long chain.
 """
 
 from __future__ import annotations
@@ -14,13 +20,14 @@ import numpy as np
 
 from repro.bayesnet.factor import DiscreteFactor
 from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.sampling import CompiledSampler, state_to_index
 from repro.exceptions import InferenceError
 from repro.utils.rng import ensure_rng
 
 Evidence = Mapping[str, str | int]
 
 
-class GibbsSampling:
+class GibbsSampling(CompiledSampler):
     """Gibbs-sampling inference over a discrete Bayesian network.
 
     Parameters
@@ -28,101 +35,147 @@ class GibbsSampling:
     network:
         A fully specified network.
     num_samples:
-        Number of retained samples per query (after burn-in and thinning).
+        Number of retained samples per query (after burn-in and thinning),
+        pooled across all chains.
     burn_in:
-        Number of initial sweeps discarded.
+        Number of initial sweeps discarded (per chain).
     thin:
         Keep one sample every ``thin`` sweeps.
+    chains:
+        Number of chains advanced in lock-step; the vectorisation batch size.
     seed:
         Seed or generator for reproducible sampling.
     """
 
     def __init__(self, network: BayesianNetwork, num_samples: int = 2000,
                  burn_in: int = 200, thin: int = 2,
+                 chains: int = 16,
                  seed: int | np.random.Generator | None = None) -> None:
         network.check_model()
         if num_samples < 1:
             raise InferenceError("num_samples must be at least 1")
         if burn_in < 0 or thin < 1:
             raise InferenceError("burn_in must be >= 0 and thin >= 1")
-        self.network = network
+        if chains < 1:
+            raise InferenceError("chains must be at least 1")
+        self._init_compiled(network)
         self.num_samples = int(num_samples)
         self.burn_in = int(burn_in)
         self.thin = int(thin)
+        self.chains = min(int(chains), self.num_samples)
         self._rng = ensure_rng(seed)
         self._order = network.graph.topological_sort()
+        self._build_child_strides()
+
+    def _build_child_strides(self) -> None:
+        # Per node: its children with the stride of this node inside each
+        # child's parent-configuration index, for vectorised conditionals.
+        self._child_strides: dict[str, list[tuple[str, int]]] = {}
+        for node in self._order:
+            entries = []
+            for child in self.network.children(node):
+                child_cpd = self.network.get_cpd(child)
+                position = child_cpd.parents.index(node)
+                entries.append((child, self._compiled[child].strides[position]))
+            self._child_strides[node] = entries
+
+    def _recompile(self) -> None:
+        super()._recompile()
+        self._build_child_strides()
 
     def _state_index(self, variable: str, state: str | int) -> int:
-        cpd = self.network.get_cpd(variable)
-        if isinstance(state, (int, np.integer)):
-            return int(state)
-        names = cpd.state_names[variable]
-        if str(state) not in names:
-            raise InferenceError(
-                f"unknown state {state!r} for variable {variable!r}")
-        return names.index(str(state))
+        return state_to_index(self.network, variable, state)
 
-    def _full_conditional(self, variable: str,
-                          assignment: dict[str, int]) -> np.ndarray:
-        """Return the unnormalised full conditional of ``variable``."""
-        cpd = self.network.get_cpd(variable)
-        column = cpd.parent_configuration_index(
-            {p: assignment[p] for p in cpd.parents})
-        probabilities = cpd.table[:, column].copy()
-        for child in self.network.children(variable):
-            child_cpd = self.network.get_cpd(child)
-            child_state = assignment[child]
-            for candidate in range(cpd.cardinality):
-                parent_assignment = {p: assignment[p] for p in child_cpd.parents}
-                parent_assignment[variable] = candidate
-                child_column = child_cpd.parent_configuration_index(parent_assignment)
-                probabilities[candidate] *= child_cpd.table[child_state, child_column]
+    # ---------------------------------------------------------- vectorised core
+    def _initial_states(self, evidence: Mapping[str, int],
+                        count: int) -> dict[str, np.ndarray]:
+        """Forward-sample ``count`` chains with the evidence clamped."""
+        states: dict[str, np.ndarray] = {}
+        for node in self._order:
+            compiled = self._compiled[node]
+            if node in evidence:
+                states[node] = np.full(count, evidence[node], dtype=np.intp)
+                continue
+            columns = compiled.columns(states, count)
+            states[node] = compiled.draw(columns, self._rng)
+        return states
+
+    def _conditionals(self, node: str,
+                      states: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Return the unnormalised full conditionals, one row per chain."""
+        compiled = self._compiled[node]
+        count = len(next(iter(states.values())))
+        columns = compiled.columns(states, count)
+        probabilities = compiled.table_t[columns].copy()
+        candidates = np.arange(compiled.cardinality, dtype=np.intp)
+        for child, stride in self._child_strides[node]:
+            child_compiled = self._compiled[child]
+            base = child_compiled.columns(states, count) - states[node] * stride
+            child_columns = base[:, None] + candidates[None, :] * stride
+            probabilities *= child_compiled.table_t[
+                child_columns, states[child][:, None]]
         return probabilities
 
-    def _initial_state(self, evidence: dict[str, int]) -> dict[str, int]:
-        assignment: dict[str, int] = {}
-        for node in self._order:
-            if node in evidence:
-                assignment[node] = evidence[node]
-                continue
-            cpd = self.network.get_cpd(node)
-            column = cpd.parent_configuration_index(
-                {p: assignment[p] for p in cpd.parents})
-            distribution = cpd.table[:, column]
-            assignment[node] = int(self._rng.choice(len(distribution), p=distribution))
-        return assignment
+    def _resample_node(self, node: str, states: dict[str, np.ndarray],
+                       evidence: Mapping[str, int]) -> None:
+        probabilities = self._conditionals(node, states)
+        totals = probabilities.sum(axis=1)
+        dead = np.flatnonzero(totals <= 0)
+        if len(dead):
+            # Those chains reached a configuration inconsistent with the
+            # evidence; restart them from fresh forward samples.
+            fresh = self._initial_states(evidence, len(dead))
+            for variable in self._order:
+                states[variable][dead] = fresh[variable]
+            probabilities[dead] = self._conditionals(
+                node, {v: s[dead] for v, s in states.items()})
+            totals = probabilities.sum(axis=1)
+            if np.any(totals <= 0):
+                raise InferenceError(
+                    f"cannot resample {node!r}: all conditional "
+                    "probabilities are zero")
+        cumulative = np.cumsum(probabilities, axis=1)
+        uniforms = self._rng.random(len(totals)) * totals
+        drawn = (cumulative < uniforms[:, None]).sum(axis=1)
+        states[node] = np.minimum(drawn, probabilities.shape[1] - 1).astype(np.intp)
 
-    def sample(self, evidence: Evidence | None = None) -> list[dict[str, int]]:
-        """Return retained Gibbs samples as state-index assignments."""
+    def sample_states(self, evidence: Evidence | None = None
+                      ) -> dict[str, np.ndarray]:
+        """Return retained samples as ``{variable: int state array}``.
+
+        The arrays have length ``num_samples``; retained sweeps contribute
+        one sample per chain (round-robin) after each chain's burn-in.
+        """
+        self._refresh_tables()
         evidence_indices = {variable: self._state_index(variable, state)
                             for variable, state in (evidence or {}).items()}
         for variable in evidence_indices:
             if variable not in self.network.graph:
                 raise InferenceError(f"unknown evidence variable {variable!r}")
-        assignment = self._initial_state(evidence_indices)
+        chains = self.chains
+        states = self._initial_states(evidence_indices, chains)
         free = [node for node in self._order if node not in evidence_indices]
-        samples: list[dict[str, int]] = []
-        total_sweeps = self.burn_in + self.num_samples * self.thin
-        for sweep in range(total_sweeps):
+        kept: dict[str, list[np.ndarray]] = {node: [] for node in self._order}
+        retained = 0
+        sweep = 0
+        while retained < self.num_samples:
             for node in free:
-                probabilities = self._full_conditional(node, assignment)
-                total = probabilities.sum()
-                if total <= 0:
-                    # The current configuration is inconsistent with the
-                    # evidence; restart from a fresh forward sample.
-                    assignment = self._initial_state(evidence_indices)
-                    probabilities = self._full_conditional(node, assignment)
-                    total = probabilities.sum()
-                    if total <= 0:
-                        raise InferenceError(
-                            f"cannot resample {node!r}: all conditional "
-                            "probabilities are zero")
-                assignment[node] = int(
-                    self._rng.choice(len(probabilities), p=probabilities / total))
+                self._resample_node(node, states, evidence_indices)
             if sweep >= self.burn_in and (sweep - self.burn_in) % self.thin == 0:
-                samples.append(dict(assignment))
-        return samples
+                take = min(chains, self.num_samples - retained)
+                for node in self._order:
+                    kept[node].append(states[node][:take].copy())
+                retained += take
+            sweep += 1
+        return {node: np.concatenate(kept[node]) for node in self._order}
 
+    def sample(self, evidence: Evidence | None = None) -> list[dict[str, int]]:
+        """Return retained Gibbs samples as state-index assignments."""
+        states = self.sample_states(evidence)
+        return [{node: int(states[node][row]) for node in self._order}
+                for row in range(self.num_samples)]
+
+    # ----------------------------------------------------------------- queries
     def query(self, variables: Sequence[str],
               evidence: Evidence | None = None) -> DiscreteFactor:
         """Return an estimate of the posterior factor of ``variables``."""
@@ -132,12 +185,14 @@ class GibbsSampling:
         for variable in variables:
             if variable not in self.network.graph:
                 raise InferenceError(f"unknown query variable {variable!r}")
-        samples = self.sample(evidence)
+        states = self.sample_states(evidence)
         cards = [self.network.cardinality(v) for v in variables]
         names = {v: self.network.state_names(v) for v in variables}
-        counts = np.zeros(cards, dtype=float)
-        for sample in samples:
-            counts[tuple(sample[v] for v in variables)] += 1.0
+        indices = states[variables[0]]
+        for variable, card in zip(variables[1:], cards[1:]):
+            indices = indices * card + states[variable]
+        flat = np.bincount(indices, minlength=int(np.prod(cards))).astype(float)
+        counts = flat.reshape(cards)
         return DiscreteFactor(variables, cards, counts / counts.sum(), names)
 
     def posterior(self, variable: str,
@@ -149,15 +204,13 @@ class GibbsSampling:
                    evidence: Evidence | None = None) -> dict[str, dict[str, float]]:
         """Return the marginal posterior estimate of each variable."""
         variables = list(variables)
-        samples = self.sample(evidence)
+        states = self.sample_states(evidence)
         result: dict[str, dict[str, float]] = {}
         for variable in variables:
             card = self.network.cardinality(variable)
-            counts = np.zeros(card, dtype=float)
-            for sample in samples:
-                counts[sample[variable]] += 1.0
+            counts = np.bincount(states[variable], minlength=card).astype(float)
             names = self.network.state_names(variable)
             total = counts.sum()
-            result[variable] = {name: float(c / total)
-                                for name, c in zip(names, counts)}
+            result[variable] = {name: float(count / total)
+                                for name, count in zip(names, counts)}
         return result

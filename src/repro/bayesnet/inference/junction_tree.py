@@ -7,6 +7,11 @@ potentials.  This module reproduces that behaviour: the tree is built once
 sepset tree), evidence is entered, the tree is calibrated with a single
 collect/distribute pass, and every node marginal is then available without
 further elimination work.
+
+Calibrations are cached keyed by the evidence signature (not just the most
+recent evidence set), and the per-variable marginals read from the calibrated
+cliques are memoised alongside each calibration, so population workflows that
+revisit the same failing condition pay for calibration exactly once.
 """
 
 from __future__ import annotations
@@ -15,7 +20,8 @@ from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.bayesnet.factor import DiscreteFactor, factor_product
+from repro.bayesnet.factor import DiscreteFactor, contract_factors
+from repro.bayesnet.inference._evidence_cache import EvidenceCache, evidence_key
 from repro.bayesnet.network import BayesianNetwork
 from repro.exceptions import InferenceError
 
@@ -35,6 +41,19 @@ class _Clique:
         return f"Clique({sorted(self.variables)})"
 
 
+class _Calibration:
+    """One calibrated state of the tree: potentials, P(e) and marginal memo."""
+
+    __slots__ = ("evidence", "potentials", "probability", "marginals")
+
+    def __init__(self, evidence: dict, potentials: list[DiscreteFactor],
+                 probability: float) -> None:
+        self.evidence = evidence
+        self.potentials = potentials
+        self.probability = probability
+        self.marginals: dict[str, DiscreteFactor] = {}
+
+
 class JunctionTree:
     """Exact inference through junction-tree calibration.
 
@@ -42,6 +61,13 @@ class JunctionTree:
     ----------
     network:
         A fully specified Bayesian network.
+
+    Attributes
+    ----------
+    calibration_count:
+        Number of collect/distribute calibrations executed so far.  Cache
+        hits do not increment it; tests use it to assert the calibrate-once,
+        query-many behaviour.
     """
 
     def __init__(self, network: BayesianNetwork) -> None:
@@ -54,9 +80,13 @@ class JunctionTree:
         self._cliques: list[_Clique] = []
         self._sepsets: dict[tuple[int, int], frozenset[str]] = {}
         self._build_tree()
-        self._calibrated_for: dict | None = None
-        self._calibrated_potentials: list[DiscreteFactor] | None = None
-        self._evidence_probability: float = 1.0
+        self._home_clique = {
+            node: min((c.index for c in self._cliques if node in c.variables),
+                      key=lambda i: len(self._cliques[i].variables))
+            for node in network.nodes}
+        self.calibration_count = 0
+        self._calibrations = EvidenceCache(network)
+        self._current: _Calibration | None = None
 
     # ------------------------------------------------------------ construction
     def _build_tree(self) -> None:
@@ -152,14 +182,13 @@ class JunctionTree:
     def _identity_factor(self, variables: Iterable[str]) -> DiscreteFactor:
         variables = sorted(variables)
         if not variables:
-            return DiscreteFactor([], [], np.array(1.0))
+            return DiscreteFactor._from_parts([], [], np.array(1.0), {})
         cards = [self._cardinalities[v] for v in variables]
         names = {v: self._state_names[v] for v in variables}
-        return DiscreteFactor(variables, cards, np.ones(cards), names)
+        return DiscreteFactor._from_parts(variables, cards, np.ones(cards), names)
 
     def _initial_potentials(self, evidence: Evidence) -> list[DiscreteFactor]:
-        potentials = [self._identity_factor(clique.variables)
-                      for clique in self._cliques]
+        assigned: list[list[DiscreteFactor]] = [[] for _ in self._cliques]
         for cpd in self.network.cpds:
             factor = cpd.to_factor().reduce(evidence)
             family = set(cpd.parents) | {cpd.variable}
@@ -172,13 +201,16 @@ class JunctionTree:
                 raise InferenceError(
                     f"no clique contains the family of {cpd.variable!r}; "
                     "triangulation is inconsistent")
-            potentials[home] = potentials[home].product(factor)
-        # Evidence variables disappear from the reduced CPD factors but other
-        # cliques may still carry them; reduce the identity axes too.
+            assigned[home].append(factor)
+        potentials = []
         for index, clique in enumerate(self._cliques):
-            observed = {v: evidence[v] for v in clique.variables if v in evidence}
-            if observed:
-                potentials[index] = potentials[index].reduce(observed)
+            # Evidence variables disappear from the reduced CPD factors, and
+            # other clique variables may have no assigned CPD factor at all;
+            # multiplying by the identity over the unobserved clique scope
+            # keeps every non-evidence axis present for querying.
+            scope = [v for v in clique.variables if v not in evidence]
+            potentials.append(contract_factors(
+                [self._identity_factor(scope)] + assigned[index]))
         return potentials
 
     # -------------------------------------------------------------- calibration
@@ -196,6 +228,7 @@ class JunctionTree:
         count = len(self._cliques)
         if count == 0:
             raise InferenceError("network has no nodes")
+        self.calibration_count += 1
 
         messages: dict[tuple[int, int], DiscreteFactor] = {}
 
@@ -220,9 +253,10 @@ class JunctionTree:
 
         calibrated = []
         for clique in self._cliques:
-            belief = potentials[clique.index]
-            for neighbour in clique.neighbours:
-                belief = belief.product(messages[(neighbour, clique.index)])
+            belief = contract_factors(
+                [potentials[clique.index]]
+                + [messages[(neighbour, clique.index)]
+                   for neighbour in clique.neighbours])
             calibrated.append(belief)
 
         total = float(calibrated[root].values.sum())
@@ -230,9 +264,28 @@ class JunctionTree:
             raise InferenceError(
                 "evidence has zero probability under the model; "
                 "cannot calibrate the junction tree")
-        self._evidence_probability = total
-        self._calibrated_potentials = calibrated
-        self._calibrated_for = evidence
+        calibration = _Calibration(evidence, calibrated, total)
+        self._calibrations.refresh()
+        self._calibrations.put(evidence_key(self.network, evidence), calibration)
+        self._current = calibration
+
+    def _ensure_calibrated(self, evidence: dict) -> _Calibration:
+        """Return the calibration for ``evidence``, computing it if needed.
+
+        Replacing a CPD on the network drops every cached calibration (and
+        the current one), so parameter updates recalibrate from live tables.
+        """
+        if self._calibrations.refresh():
+            self._current = None
+        if self._current is not None and self._current.evidence == evidence:
+            return self._current
+        cached = self._calibrations.get(evidence_key(self.network, evidence))
+        if cached is not None:
+            self._current = cached
+            return cached
+        self.calibrate(evidence)
+        assert self._current is not None
+        return self._current
 
     def _dfs_order(self, root: int) -> list[int]:
         order = []
@@ -253,14 +306,25 @@ class JunctionTree:
                  potentials: list[DiscreteFactor],
                  messages: dict[tuple[int, int], DiscreteFactor],
                  exclude: int) -> DiscreteFactor:
-        belief = potentials[source]
+        incoming = [potentials[source]]
         for neighbour in self._cliques[source].neighbours:
             if neighbour == exclude:
                 continue
-            belief = belief.product(messages[(neighbour, source)])
+            incoming.append(messages[(neighbour, source)])
         sepset = self._sepsets[(source, target)]
-        to_sum = [v for v in belief.variables if v not in sepset]
-        return belief.marginalize(to_sum)
+        return contract_factors(incoming, keep=sepset)
+
+    # ---------------------------------------------------------------- marginals
+    def _marginal(self, variable: str, calibration: _Calibration) -> DiscreteFactor:
+        """Return the normalised single-variable marginal, memoised."""
+        cached = calibration.marginals.get(variable)
+        if cached is not None:
+            return cached
+        potential = calibration.potentials[self._home_clique[variable]]
+        extra = [v for v in potential.variables if v != variable]
+        marginal = potential.marginalize(extra).normalize()
+        calibration.marginals[variable] = marginal
+        return marginal
 
     # ------------------------------------------------------------------ query
     def query(self, variables: Sequence[str],
@@ -282,12 +346,10 @@ class JunctionTree:
             if variable in evidence:
                 raise InferenceError(
                     f"variable {variable!r} appears both as query and evidence")
-        if self._calibrated_for != evidence:
-            self.calibrate(evidence)
-        assert self._calibrated_potentials is not None
+        calibration = self._ensure_calibrated(evidence)
 
         query_set = set(variables)
-        for clique, potential in zip(self._cliques, self._calibrated_potentials):
+        for clique, potential in zip(self._cliques, calibration.potentials):
             if query_set <= clique.variables:
                 extra = [v for v in potential.variables if v not in query_set]
                 return potential.marginalize(extra).normalize()
@@ -302,12 +364,28 @@ class JunctionTree:
     def posterior(self, variable: str,
                   evidence: Evidence | None = None) -> dict[str, float]:
         """Return ``P(variable | evidence)`` as ``{state: probability}``."""
-        return self.query([variable], evidence).to_distribution()
+        evidence = dict(evidence or {})
+        if variable not in self.network.graph:
+            raise InferenceError(f"unknown query variable {variable!r}")
+        if variable in evidence:
+            raise InferenceError(
+                f"variable {variable!r} appears both as query and evidence")
+        calibration = self._ensure_calibrated(evidence)
+        return self._marginal(variable, calibration).to_distribution()
 
     def posteriors(self, variables: Iterable[str],
                    evidence: Evidence | None = None) -> dict[str, dict[str, float]]:
-        """Return the marginal posterior of each variable independently."""
-        return {variable: self.posterior(variable, evidence)
+        """Return every requested marginal from one calibration of the tree."""
+        evidence = dict(evidence or {})
+        variables = list(variables)
+        for variable in variables:
+            if variable not in self.network.graph:
+                raise InferenceError(f"unknown query variable {variable!r}")
+            if variable in evidence:
+                raise InferenceError(
+                    f"variable {variable!r} appears both as query and evidence")
+        calibration = self._ensure_calibrated(evidence)
+        return {variable: self._marginal(variable, calibration).to_distribution()
                 for variable in variables}
 
     def map_query(self, variables: Sequence[str],
@@ -317,10 +395,7 @@ class JunctionTree:
 
     def probability_of_evidence(self, evidence: Evidence) -> float:
         """Return ``P(evidence)`` after calibrating on ``evidence``."""
-        evidence = dict(evidence)
-        if self._calibrated_for != evidence:
-            self.calibrate(evidence)
-        return self._evidence_probability
+        return self._ensure_calibrated(dict(evidence)).probability
 
     # ------------------------------------------------------------- inspection
     @property

@@ -5,6 +5,10 @@ topological order and weights each sample by the likelihood of the evidence
 under the sampled parents.  It is used in the benchmark harness to compare
 cheap approximate posteriors against the exact engines on the voltage
 regulator network.
+
+The sampler is vectorised: all ``num_samples`` particles advance through the
+topological order together as integer state arrays, with the per-node CPT
+lookups and the evidence weights computed by row-indexed numpy gathers.
 """
 
 from __future__ import annotations
@@ -15,13 +19,14 @@ import numpy as np
 
 from repro.bayesnet.factor import DiscreteFactor
 from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.sampling import CompiledSampler, state_to_index
 from repro.exceptions import InferenceError
 from repro.utils.rng import ensure_rng
 
 Evidence = Mapping[str, str | int]
 
 
-class LikelihoodWeighting:
+class LikelihoodWeighting(CompiledSampler):
     """Likelihood-weighted sampling inference.
 
     Parameters
@@ -39,41 +44,34 @@ class LikelihoodWeighting:
         network.check_model()
         if num_samples < 1:
             raise InferenceError("num_samples must be at least 1")
-        self.network = network
+        self._init_compiled(network)
         self.num_samples = int(num_samples)
         self._rng = ensure_rng(seed)
         self._topological_order = network.graph.topological_sort()
 
     def _state_index(self, variable: str, state: str | int) -> int:
-        cpd = self.network.get_cpd(variable)
-        if isinstance(state, (int, np.integer)):
-            index = int(state)
-            if not 0 <= index < cpd.cardinality:
-                raise InferenceError(
-                    f"state index {index} out of range for {variable!r}")
-            return index
-        names = cpd.state_names[variable]
-        if str(state) not in names:
-            raise InferenceError(
-                f"unknown state {state!r} for variable {variable!r}")
-        return names.index(str(state))
+        return state_to_index(self.network, variable, state)
 
-    def _sample_once(self, evidence: dict[str, int]) -> tuple[dict[str, int], float]:
-        sample: dict[str, int] = {}
-        weight = 1.0
+    def _sample_batch(self, evidence: Mapping[str, int]
+                      ) -> tuple[dict[str, np.ndarray], np.ndarray]:
+        """Draw the whole particle population in one vectorised pass.
+
+        Returns ``({variable: int state array}, weight array)``.
+        """
+        self._refresh_tables()
+        count = self.num_samples
+        states: dict[str, np.ndarray] = {}
+        weights = np.ones(count, dtype=float)
         for node in self._topological_order:
-            cpd = self.network.get_cpd(node)
-            parent_assignment = {p: sample[p] for p in cpd.parents}
-            column = cpd.parent_configuration_index(parent_assignment)
-            distribution = cpd.table[:, column]
+            compiled = self._compiled[node]
+            columns = compiled.columns(states, count)
             if node in evidence:
                 index = evidence[node]
-                sample[node] = index
-                weight *= float(distribution[index])
+                states[node] = np.full(count, index, dtype=np.intp)
+                weights *= compiled.table_t[columns, index]
             else:
-                index = int(self._rng.choice(len(distribution), p=distribution))
-                sample[node] = index
-        return sample, weight
+                states[node] = compiled.draw(columns, self._rng)
+        return states, weights
 
     def query(self, variables: Sequence[str],
               evidence: Evidence | None = None) -> DiscreteFactor:
@@ -93,19 +91,18 @@ class LikelihoodWeighting:
 
         cards = [self.network.cardinality(v) for v in variables]
         names = {v: self.network.state_names(v) for v in variables}
-        counts = np.zeros(cards, dtype=float)
-        total_weight = 0.0
-        for _ in range(self.num_samples):
-            sample, weight = self._sample_once(evidence_indices)
-            if weight <= 0:
-                continue
-            index = tuple(sample[v] for v in variables)
-            counts[index] += weight
-            total_weight += weight
+        states, weights = self._sample_batch(evidence_indices)
+        total_weight = float(weights.sum())
         if total_weight <= 0:
             raise InferenceError(
                 "all samples received zero weight; the evidence is (nearly) "
                 "impossible under the model or num_samples is too small")
+        flat = np.zeros(int(np.prod(cards)), dtype=float)
+        indices = states[variables[0]]
+        for variable, card in zip(variables[1:], cards[1:]):
+            indices = indices * card + states[variable]
+        np.add.at(flat, indices, weights)
+        counts = flat.reshape(cards)
         return DiscreteFactor(variables, cards, counts / total_weight, names)
 
     def posterior(self, variable: str,
@@ -115,18 +112,32 @@ class LikelihoodWeighting:
 
     def posteriors(self, variables: Iterable[str],
                    evidence: Evidence | None = None) -> dict[str, dict[str, float]]:
-        """Return the (independently estimated) marginals of several variables."""
+        """Return the marginals of several variables from one shared sample set."""
         variables = list(variables)
         evidence = dict(evidence or {})
-        # One shared sample set estimates every marginal at once, which keeps
-        # the estimates mutually consistent and costs a single pass.
-        joint = self.query(variables, evidence) if len(variables) <= 6 else None
-        if joint is not None:
-            return {variable: joint.marginalize(
-                [v for v in variables if v != variable]).to_distribution()
-                for variable in variables}
-        return {variable: self.posterior(variable, evidence)
-                for variable in variables}
+        for variable in variables:
+            if variable not in self.network.graph:
+                raise InferenceError(f"unknown query variable {variable!r}")
+            if variable in evidence:
+                raise InferenceError(
+                    f"variable {variable!r} appears both as query and evidence")
+        evidence_indices = {variable: self._state_index(variable, state)
+                            for variable, state in evidence.items()}
+        states, weights = self._sample_batch(evidence_indices)
+        total_weight = float(weights.sum())
+        if total_weight <= 0:
+            raise InferenceError(
+                "all samples received zero weight; the evidence is (nearly) "
+                "impossible under the model or num_samples is too small")
+        result: dict[str, dict[str, float]] = {}
+        for variable in variables:
+            card = self.network.cardinality(variable)
+            counts = np.bincount(states[variable], weights=weights,
+                                 minlength=card)
+            names = self.network.state_names(variable)
+            result[variable] = {name: float(count / total_weight)
+                                for name, count in zip(names, counts)}
+        return result
 
     def map_query(self, variables: Sequence[str],
                   evidence: Evidence | None = None) -> dict[str, str]:

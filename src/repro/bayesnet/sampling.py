@@ -4,6 +4,11 @@ Forward sampling is used throughout the test suite (to generate ground-truth
 data with known parameters) and by the benchmark harness to create synthetic
 failed-device populations when the behavioural circuit simulator is not
 involved.
+
+Sampling is vectorised: whole batches are drawn as integer state arrays with
+row-indexed CPT lookups (one inverse-CDF draw per node over the entire
+batch), instead of per-sample Python dict loops.  The same compiled-table
+machinery backs the likelihood-weighting and Gibbs engines.
 """
 
 from __future__ import annotations
@@ -17,7 +22,120 @@ from repro.exceptions import InferenceError
 from repro.utils.rng import ensure_rng
 
 
-class ForwardSampler:
+class CompiledNode:
+    """Per-node tables flattened for batched sampling.
+
+    Attributes
+    ----------
+    table_t:
+        The CPT transposed to ``(parent_configurations, cardinality)`` so a
+        batch of configuration columns gathers a batch of distributions in
+        one fancy-indexing call.
+    parents / strides:
+        Parent names and the mixed-radix strides that turn a batch of parent
+        state arrays into configuration column indices (last parent varies
+        fastest, matching ``TabularCPD.parent_configuration_index``).
+    """
+
+    __slots__ = ("name", "cardinality", "table_t", "cumulative", "parents", "strides")
+
+    def __init__(self, name: str, cardinality: int, table: np.ndarray,
+                 parents: list[str], parent_cardinalities: list[int]) -> None:
+        self.name = name
+        self.cardinality = cardinality
+        self.table_t = np.ascontiguousarray(table.T)
+        self.cumulative = np.cumsum(self.table_t, axis=1)
+        strides = []
+        stride = 1
+        for card in reversed(parent_cardinalities):
+            strides.append(stride)
+            stride *= card
+        self.parents = parents
+        self.strides = list(reversed(strides))
+
+    def columns(self, states: Mapping[str, np.ndarray], count: int) -> np.ndarray:
+        """Return the CPT column index per batch row for the parent states."""
+        if not self.parents:
+            return np.zeros(count, dtype=np.intp)
+        columns = states[self.parents[0]] * self.strides[0]
+        for parent, stride in zip(self.parents[1:], self.strides[1:]):
+            columns = columns + states[parent] * stride
+        return columns
+
+    def draw(self, columns: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Inverse-CDF sample one state per batch row from the given columns."""
+        cumulative = self.cumulative[columns]
+        uniforms = rng.random(len(columns))
+        states = (cumulative < uniforms[:, None]).sum(axis=1)
+        return np.minimum(states, self.cardinality - 1).astype(np.intp)
+
+
+def cpd_signature(network: BayesianNetwork) -> tuple:
+    """Identity snapshot of the network's CPD objects.
+
+    ``add_cpd`` replaces the stored object, so comparing signatures detects
+    parameter updates between queries.  (In-place mutation of a CPD's table
+    array is not detectable and remains unsupported, as before.)
+    """
+    return tuple(id(cpd) for cpd in network.cpds)
+
+
+def state_to_index(network: BayesianNetwork, variable: str,
+                   state: str | int) -> int:
+    """Normalise a state name or index for ``variable``, validating range."""
+    cpd = network.get_cpd(variable)
+    if isinstance(state, (int, np.integer)):
+        index = int(state)
+        if not 0 <= index < cpd.cardinality:
+            raise InferenceError(
+                f"state index {index} out of range for variable {variable!r}")
+        return index
+    try:
+        return cpd.state_names[variable].index(str(state))
+    except ValueError:
+        raise InferenceError(
+            f"unknown state {state!r} for variable {variable!r}") from None
+
+
+def compile_network(network: BayesianNetwork) -> dict[str, CompiledNode]:
+    """Return flattened per-node sampling tables for ``network``."""
+    compiled = {}
+    for node in network.nodes:
+        cpd = network.get_cpd(node)
+        compiled[node] = CompiledNode(node, cpd.cardinality, cpd.table,
+                                      list(cpd.parents),
+                                      list(cpd.parent_cardinalities))
+    return compiled
+
+
+class CompiledSampler:
+    """Base for samplers that keep compiled CPT tables in sync with the network.
+
+    The tables are recompiled whenever a CPD object on the network is
+    replaced (the public ``add_cpd`` mutation path), so samplers never draw
+    from stale parameters; subclasses call :meth:`_refresh_tables` at every
+    sampling entry point and may override :meth:`_recompile` to rebuild
+    derived state of their own.
+    """
+
+    network: BayesianNetwork
+
+    def _init_compiled(self, network: BayesianNetwork) -> None:
+        self.network = network
+        self._compiled = compile_network(network)
+        self._cpd_ids = cpd_signature(network)
+
+    def _refresh_tables(self) -> None:
+        signature = cpd_signature(self.network)
+        if signature != self._cpd_ids:
+            self._recompile()
+            self._cpd_ids = signature
+
+    def _recompile(self) -> None:
+        self._compiled = compile_network(self.network)
+
+
+class ForwardSampler(CompiledSampler):
     """Ancestral (forward) sampler for a discrete Bayesian network.
 
     Parameters
@@ -31,30 +149,44 @@ class ForwardSampler:
     def __init__(self, network: BayesianNetwork,
                  seed: int | np.random.Generator | None = None) -> None:
         network.check_model()
-        self.network = network
+        self._init_compiled(network)
         self._rng = ensure_rng(seed)
         self._order = network.graph.topological_sort()
 
+    # ------------------------------------------------------------ batched core
+    def sample_states(self, count: int) -> dict[str, np.ndarray]:
+        """Draw ``count`` assignments as ``{variable: int state array}``."""
+        if count < 0:
+            raise InferenceError("sample count must be non-negative")
+        self._refresh_tables()
+        states: dict[str, np.ndarray] = {}
+        for node in self._order:
+            compiled = self._compiled[node]
+            columns = compiled.columns(states, count)
+            states[node] = compiled.draw(columns, self._rng)
+        return states
+
+    def _to_records(self, states: Mapping[str, np.ndarray], count: int,
+                    as_names: bool) -> list[dict[str, str | int]]:
+        if as_names:
+            named = {node: [self.network.state_names(node)[i]
+                            for i in states[node]]
+                     for node in self._order}
+            return [{node: named[node][row] for node in self._order}
+                    for row in range(count)]
+        return [{node: int(states[node][row]) for node in self._order}
+                for row in range(count)]
+
+    # -------------------------------------------------------------- public API
     def sample_one(self, *, as_names: bool = True) -> dict[str, str | int]:
         """Draw a single full assignment of all network variables."""
-        assignment: dict[str, int] = {}
-        for node in self._order:
-            cpd = self.network.get_cpd(node)
-            column = cpd.parent_configuration_index(
-                {p: assignment[p] for p in cpd.parents})
-            distribution = cpd.table[:, column]
-            assignment[node] = int(self._rng.choice(len(distribution), p=distribution))
-        if not as_names:
-            return dict(assignment)
-        return {node: self.network.state_names(node)[index]
-                for node, index in assignment.items()}
+        return self.sample(1, as_names=as_names)[0]
 
     def sample(self, count: int, *, as_names: bool = True
                ) -> list[dict[str, str | int]]:
         """Draw ``count`` independent full assignments."""
-        if count < 0:
-            raise InferenceError("sample count must be non-negative")
-        return [self.sample_one(as_names=as_names) for _ in range(count)]
+        states = self.sample_states(count)
+        return self._to_records(states, count, as_names)
 
     def rejection_sample(self, count: int, evidence: Mapping[str, str | int],
                          *, as_names: bool = True, max_attempts: int = 1_000_000
@@ -67,30 +199,27 @@ class ForwardSampler:
             If ``max_attempts`` forward samples do not yield enough accepted
             samples (evidence too unlikely for rejection sampling).
         """
-        evidence = dict(evidence)
+        evidence_indices = {
+            variable: state_to_index(self.network, variable, state)
+            for variable, state in evidence.items()}
         accepted: list[dict[str, str | int]] = []
         attempts = 0
         while len(accepted) < count and attempts < max_attempts:
-            attempts += 1
-            sample = self.sample_one(as_names=True)
-            if all(str(sample[variable]) == str(self._as_name(variable, state))
-                   for variable, state in evidence.items()):
-                accepted.append(sample if as_names else self._to_indices(sample))
+            batch = min(max(4 * count, 64), max_attempts - attempts)
+            attempts += batch
+            states = self.sample_states(batch)
+            match = np.ones(batch, dtype=bool)
+            for variable, index in evidence_indices.items():
+                match &= states[variable] == index
+            rows = np.flatnonzero(match)[:count - len(accepted)]
+            if len(rows):
+                kept = {node: states[node][rows] for node in self._order}
+                accepted.extend(self._to_records(kept, len(rows), as_names))
         if len(accepted) < count:
             raise InferenceError(
                 f"rejection sampling accepted only {len(accepted)} of {count} "
                 f"requested samples after {max_attempts} attempts")
         return accepted
-
-    def _as_name(self, variable: str, state: str | int) -> str:
-        if isinstance(state, (int, np.integer)):
-            return self.network.state_names(variable)[int(state)]
-        return str(state)
-
-    def _to_indices(self, sample: Mapping[str, str]) -> dict[str, int]:
-        return {variable: self.network.state_names(variable).index(str(state))
-                for variable, state in sample.items()}
-
 
 def sample_dataset(network: BayesianNetwork, count: int,
                    seed: int | np.random.Generator | None = None,
@@ -106,13 +235,14 @@ def sample_dataset(network: BayesianNetwork, count: int,
         raise InferenceError("missing_fraction must be in [0, 1]")
     rng = ensure_rng(seed)
     sampler = ForwardSampler(network, seed=rng)
+    samples = sampler.sample(count)
+    if missing_fraction <= 0.0:
+        return [dict(sample) for sample in samples]
+    order = sampler._order
+    hidden = rng.random((count, len(order))) < missing_fraction
     cases: list[dict[str, object]] = []
-    for sample in sampler.sample(count):
-        case: dict[str, object] = {}
-        for variable, state in sample.items():
-            if missing_fraction > 0.0 and rng.random() < missing_fraction:
-                case[variable] = missing_value
-            else:
-                case[variable] = state
-        cases.append(case)
+    for row, sample in enumerate(samples):
+        cases.append({variable: (missing_value if hidden[row, column] else
+                                 sample[variable])
+                      for column, variable in enumerate(order)})
     return cases

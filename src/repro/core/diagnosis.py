@@ -89,10 +89,16 @@ class Diagnosis:
 
     def rank_of(self, block: str) -> int:
         """Return the 1-based rank of ``block`` in the fail-probability ranking."""
-        for rank, (candidate, _) in enumerate(self.ranked_candidates, start=1):
-            if candidate == block:
-                return rank
-        raise DiagnosisError(f"block {block!r} is not an internal model variable")
+        ranks = self.__dict__.get("_rank_index")
+        if ranks is None or len(ranks) != len(self.ranked_candidates):
+            ranks = {candidate: rank for rank, (candidate, _)
+                     in enumerate(self.ranked_candidates, start=1)}
+            self.__dict__["_rank_index"] = ranks
+        try:
+            return ranks[block]
+        except KeyError:
+            raise DiagnosisError(
+                f"block {block!r} is not an internal model variable") from None
 
 
 class DiagnosisEngine:
@@ -140,9 +146,17 @@ class DiagnosisEngine:
         return self._engine.posteriors(self.model.variable_names, evidence={})
 
     def update(self, evidence: Mapping[str, str]) -> dict[str, dict[str, float]]:
-        """Return the posterior marginals of every variable given ``evidence``."""
+        """Return the posterior marginals of every variable given ``evidence``.
+
+        All free-variable marginals come from ONE inference sweep
+        (calibration / shared-bucket elimination) rather than one elimination
+        per variable; evidence variables collapse onto their observed state.
+        """
         evidence = {variable: str(state) for variable, state in evidence.items()}
         self.model.validate_against(evidence)
+        free = [variable for variable in self.model.variable_names
+                if variable not in evidence]
+        computed = self._engine.posteriors(free, evidence)
         posteriors: dict[str, dict[str, float]] = {}
         for variable in self.model.variable_names:
             if variable in evidence:
@@ -150,7 +164,7 @@ class DiagnosisEngine:
                 posteriors[variable] = {label: 1.0 if label == evidence[variable] else 0.0
                                         for label in labels}
             else:
-                posteriors[variable] = self._engine.posterior(variable, evidence)
+                posteriors[variable] = computed[variable]
         return posteriors
 
     def fail_probability(self, variable: str,
@@ -258,6 +272,40 @@ class DiagnosisEngine:
         case = DiagnosticCase(name=name, controllable_states=controllable,
                               observable_states=observable)
         return self.diagnose(case)
+
+    def diagnose_batch(self, cases: Sequence[DiagnosticCase | Mapping[str, str]],
+                       names: Sequence[str] | None = None) -> list[Diagnosis]:
+        """Diagnose a whole population of cases against one shared engine.
+
+        Engine construction (network validation, junction-tree compilation)
+        is paid once for the entire batch, every case's posterior update is a
+        single inference sweep, and duplicate failing conditions across the
+        population hit the engine's evidence-keyed cache instead of being
+        recomputed — the intended entry point for customer-return and
+        fault-coverage population workflows.
+
+        Parameters
+        ----------
+        cases:
+            :class:`DiagnosticCase` instances, or raw evidence mappings
+            (variable -> observed state) which are wrapped like
+            :meth:`diagnose_evidence` does.
+        names:
+            Optional case names, aligned with ``cases``; only used for raw
+            evidence mappings (defaults to ``case-<i>``).
+        """
+        cases = list(cases)
+        if names is not None and len(names) != len(cases):
+            raise DiagnosisError(
+                f"got {len(names)} names for {len(cases)} cases")
+        diagnoses: list[Diagnosis] = []
+        for index, case in enumerate(cases):
+            if isinstance(case, DiagnosticCase):
+                diagnoses.append(self.diagnose(case))
+            else:
+                name = names[index] if names is not None else f"case-{index}"
+                diagnoses.append(self.diagnose_evidence(case, name=name))
+        return diagnoses
 
     def diagnose_measurements(self, conditions: Mapping[str, float],
                               measurements: Mapping[str, float],
