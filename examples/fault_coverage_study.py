@@ -58,16 +58,19 @@ def main() -> None:
     for fault in circuit.fault_universe.enumerate():
         if fault.block not in internal:
             continue
+        # The whole per-fault population is simulated and discretised through
+        # the batched pipeline: one tester pass, one case-generation pass.
         population = generator.generate_for_fault(fault, DEVICES_PER_BLOCK)
-        for result in population.results:
-            stats = per_block[fault.block]
-            stats["devices"] += 1
-            if not result.failed:
-                stats["masked"] += 1
-                continue
-            cases = case_generator.cases_from_device_result(result)
-            failing = [case for case in cases if case.failed]
-            evidences.append(failing[0].observed())
+        stats = per_block[fault.block]
+        stats["devices"] += len(population)
+        stats["masked"] += len(population.passing_results)
+        cases = case_generator.cases_from_results(population.failing_results)
+        by_device: dict[str, dict[str, str]] = {}
+        for case in cases:
+            if case.failed and case.device_id not in by_device:
+                by_device[case.device_id] = case.observed()
+        for result in population.failing_results:
+            evidences.append(by_device[result.device_id])
             faulted_blocks.append(fault.block)
 
     for diagnosis, block in zip(engine.diagnose_batch(evidences), faulted_blocks):

@@ -133,10 +133,26 @@ class PopulationGenerator:
         device_id = self._next_device_id()
         return self._tester.test_device(device_id, faults={})
 
+    def _generate_failed_batch(self, count: int) -> list[DeviceResult]:
+        """Sample ``count`` faults up-front and test the devices in one batch."""
+        faults = self.fault_universe.sample_batch(count, self._rng,
+                                                  self.block_weights)
+        device_ids = [self._next_device_id() for _ in range(count)]
+        return self._tester.test_devices(
+            device_ids, [{fault.block: fault} for fault in faults])
+
     def generate(self, failed_count: int, passing_count: int = 0,
                  require_observable_failure: bool = True,
                  max_attempts_per_device: int = 20) -> DevicePopulation:
         """Generate a population of ``failed_count`` + ``passing_count`` devices.
+
+        All faults of a round are sampled up-front and the whole round is
+        simulated through the batched tester; only the devices whose fault
+        was masked by the test conditions are re-drawn (again as one batch)
+        in the next round.  Per device the semantics match the scalar retry
+        loop: up to ``max_attempts_per_device`` fault draws, a fresh device
+        id per draw, and the masked fault is accepted once the attempts are
+        exhausted.
 
         Parameters
         ----------
@@ -153,19 +169,23 @@ class PopulationGenerator:
         if failed_count < 0 or passing_count < 0:
             raise ATEError("device counts must be non-negative")
         results: list[DeviceResult] = []
-        ground_truth: dict[str, BlockFault] = {}
-        for _ in range(failed_count):
-            result = self.generate_failed_device()
-            attempts = 1
-            while (require_observable_failure and not result.failed
-                   and attempts < max_attempts_per_device):
-                result = self.generate_failed_device()
-                attempts += 1
-            results.append(result)
-            fault = next(iter(result.faults.values()))
-            ground_truth[result.device_id] = fault
-        for _ in range(passing_count):
-            results.append(self.generate_passing_device())
+        if failed_count:
+            results = self._generate_failed_batch(failed_count)
+            if require_observable_failure:
+                masked = [slot for slot, result in enumerate(results)
+                          if not result.failed]
+                attempts = 1
+                while masked and attempts < max_attempts_per_device:
+                    redrawn = self._generate_failed_batch(len(masked))
+                    for slot, result in zip(masked, redrawn):
+                        results[slot] = result
+                    masked = [slot for slot in masked if not results[slot].failed]
+                    attempts += 1
+        ground_truth = {result.device_id: next(iter(result.faults.values()))
+                        for result in results}
+        if passing_count:
+            device_ids = [self._next_device_id() for _ in range(passing_count)]
+            results.extend(self._tester.test_devices(device_ids))
         return DevicePopulation(results=results, ground_truth=ground_truth)
 
     def generate_for_fault(self, fault: BlockFault, count: int) -> DevicePopulation:
@@ -174,6 +194,8 @@ class PopulationGenerator:
         Used by the fault-dictionary baseline, whose signatures are built per
         fault rather than per random population.
         """
-        results = [self.generate_failed_device(fault) for _ in range(count)]
+        device_ids = [self._next_device_id() for _ in range(count)]
+        results = self._tester.test_devices(
+            device_ids, [{fault.block: fault} for _ in range(count)])
         ground_truth = {result.device_id: fault for result in results}
         return DevicePopulation(results=results, ground_truth=ground_truth)

@@ -10,7 +10,7 @@ production tester walking a device under test.
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 
 from repro.ate.datalog import DatalogRecord, DeviceDatalog
 from repro.ate.test_program import TestProgram
@@ -129,13 +129,14 @@ class ATETester:
                     device_multipliers: Mapping[str, float] | None = None
                     ) -> DeviceResult:
         """Execute the whole program on one (possibly faulty) device."""
-        faults = dict(faults or {})
         multipliers = device_multipliers
         if multipliers is None:
             multipliers = self.simulator.sample_device()
+        # Validate the fault map once for the whole program, not per test.
+        context = self.simulator.device_context(faults, multipliers)
         measurements: list[Measurement] = []
         for test in self.program:
-            simulation = self.simulator.run(test.conditions, faults, multipliers)
+            simulation = self.simulator.run_with_context(test.conditions, context)
             value = simulation.voltage(test.measured_block)
             passed = test.evaluate(value)
             measurements.append(Measurement(
@@ -146,4 +147,69 @@ class ATETester:
             if self.stop_on_fail and not passed:
                 break
         return DeviceResult(device_id=device_id, measurements=measurements,
-                            faults=faults)
+                            faults=dict(context.faults))
+
+    def test_devices(self, device_ids: Sequence[str],
+                     faults_per_device: Sequence[Mapping[str, BlockFault] | None] | None = None,
+                     device_multipliers=None) -> list[DeviceResult]:
+        """Execute the whole program on a population of devices at once.
+
+        The program is walked once; every test measures all devices through
+        the batched simulator, and the per-device
+        :class:`DeviceResult`/:class:`Measurement` rows are materialised from
+        the resulting ``(tests, devices, blocks)`` voltage array.  With the
+        same seeds and explicit multipliers this reproduces sequential
+        :meth:`test_device` calls bit-for-bit (the equivalence tests pin it).
+
+        Parameters
+        ----------
+        device_ids:
+            One identifier per device.
+        faults_per_device:
+            One fault map (or ``None``) per device; ``None`` for an
+            all-defect-free population.
+        device_multipliers:
+            ``None`` to sample process variation for the whole population in
+            one draw, a ``(devices, blocks)`` array, or per-device mappings.
+        """
+        if self.stop_on_fail:
+            raise ATEError(
+                "test_devices requires a no-stop-on-fail program; batch "
+                "testing always measures every specification test")
+        device_ids = list(device_ids)
+        count = len(device_ids)
+        if count == 0:
+            return []
+        if faults_per_device is None:
+            fault_maps: list[dict[str, BlockFault]] = [{} for _ in device_ids]
+        else:
+            if len(faults_per_device) != count:
+                raise ATEError(
+                    f"got {len(faults_per_device)} fault maps for "
+                    f"{count} devices")
+            fault_maps = [dict(faults or {}) for faults in faults_per_device]
+        multipliers = device_multipliers
+        if multipliers is None:
+            multipliers = self.simulator.sample_devices(count)
+        tests = self.program.tests
+        voltages = self.simulator.run_program(
+            [test.conditions for test in tests], fault_maps, multipliers)
+        results = [DeviceResult(device_id=device_id, measurements=[],
+                                faults=fault_maps[index])
+                   for index, device_id in enumerate(device_ids)]
+        column = self.simulator.plan.column
+        for index, test in enumerate(tests):
+            values = voltages[index, :, column[test.measured_block]]
+            lower, upper = test.limit.lower, test.limit.upper
+            passed = (values >= lower) & (values <= upper)
+            # One shared (read-only) conditions mapping per test keeps the
+            # row materialisation cheap; Measurement is frozen and nothing
+            # downstream mutates its conditions.
+            conditions = dict(test.conditions)
+            number, name, block = test.number, test.name, test.measured_block
+            for device in range(count):
+                results[device].measurements.append(Measurement(
+                    test_number=number, test_name=name, block=block,
+                    value=float(values[device]), lower=lower, upper=upper,
+                    passed=bool(passed[device]), conditions=conditions))
+        return results

@@ -53,6 +53,42 @@ class VariableElimination:
         self._order_heuristic = elimination_order or min_fill_order
         self.sweep_count = 0
         self._marginal_cache = EvidenceCache(network)
+        self._probability_cache = EvidenceCache(network)
+        # Elimination orders depend only on the (immutable) structure, so one
+        # entry per free-variable set never goes stale; the base factor list
+        # tracks CPD replacement through the evidence-cache refresh.
+        self._order_cache: dict[frozenset, list[str]] = {}
+        self._base_factors: list[DiscreteFactor] | None = None
+
+    # ---------------------------------------------------------------- caching
+    def _refresh_caches(self) -> None:
+        # Both caches invalidate on the same trigger (CPD replacement), so
+        # the probability cache only needs a refresh when the marginal cache
+        # just detected one — no second signature scan on the hot path.
+        if self._marginal_cache.refresh():
+            self._base_factors = None
+            self._probability_cache.refresh()
+
+    def _factors(self) -> list[DiscreteFactor]:
+        if self._base_factors is None:
+            self._base_factors = self.network.to_factors()
+        return self._base_factors
+
+    def _elimination_order(self, to_eliminate: Sequence[str]) -> list[str]:
+        """Return the memoised elimination order for one free-variable set.
+
+        Cache misses run the (expensive) greedy heuristic once per distinct
+        set of variables to eliminate; the typical diagnosis workload asks
+        for the same set — all non-evidence variables of the standard test
+        program — for every case, so this turns the per-sweep heuristic cost
+        into a dictionary lookup.
+        """
+        key = frozenset(to_eliminate)
+        order = self._order_cache.get(key)
+        if order is None:
+            order = self._order_heuristic(self.network, to_eliminate)
+            self._order_cache[key] = order
+        return order
 
     # ----------------------------------------------------------------- checks
     def _validate(self, variables: Sequence[str], evidence: Evidence) -> None:
@@ -87,12 +123,13 @@ class VariableElimination:
             raise InferenceError("query requires at least one variable")
         self._validate(variables, evidence)
 
+        self._refresh_caches()
         factors = [factor.reduce(evidence) if evidence else factor
-                   for factor in self.network.to_factors()]
+                   for factor in self._factors()]
         keep = set(variables)
         to_eliminate = [node for node in self.network.nodes
                         if node not in keep and node not in evidence]
-        order = self._order_heuristic(self.network, to_eliminate)
+        order = self._elimination_order(to_eliminate)
         self.sweep_count += 1
 
         working = list(factors)
@@ -127,7 +164,7 @@ class VariableElimination:
         a CPD on the network drops the cache, so parameter updates are never
         served stale posteriors.
         """
-        self._marginal_cache.refresh()
+        self._refresh_caches()
         key = evidence_key(self.network, evidence)
         cached = self._marginal_cache.get(key)
         if cached is not None:
@@ -136,17 +173,22 @@ class VariableElimination:
         self._marginal_cache.put(key, result)
         return result
 
-    def _sweep(self, evidence: dict
-               ) -> tuple[dict[str, DiscreteFactor] | None, float]:
-        self.sweep_count += 1
+    def _forward_pass(self, evidence: Mapping) -> tuple:
+        """Run the forward bucket-elimination pass once.
+
+        Shared by the full sweep and the forward-only evidence-probability
+        path so the two can never diverge.  Returns ``(order, potentials,
+        forward, parent, constant)`` where ``constant`` is the accumulated
+        scalar mass — equal to ``P(evidence)`` once the pass completes.
+        """
         free = [node for node in self.network.nodes if node not in evidence]
-        order = self._order_heuristic(self.network, free)
+        order = self._elimination_order(free)
         position = {variable: i for i, variable in enumerate(order)}
         count = len(order)
 
         buckets: list[list[DiscreteFactor]] = [[] for _ in range(count)]
         constant = 1.0
-        for factor in self.network.to_factors():
+        for factor in self._factors():
             if evidence:
                 factor = factor.reduce(evidence)
             if factor.variables:
@@ -170,6 +212,13 @@ class VariableElimination:
                 buckets[target].append(message)
             else:
                 constant *= float(message.values)
+        return order, potentials, forward, parent, constant
+
+    def _sweep(self, evidence: dict
+               ) -> tuple[dict[str, DiscreteFactor] | None, float]:
+        self.sweep_count += 1
+        order, potentials, forward, parent, constant = self._forward_pass(evidence)
+        count = len(order)
 
         if constant <= 0.0:
             return None, 0.0
@@ -230,10 +279,30 @@ class VariableElimination:
         return joint.argmax()
 
     def probability_of_evidence(self, evidence: Evidence) -> float:
-        """Return ``P(evidence)`` (the data likelihood of the observation)."""
+        """Return ``P(evidence)`` (the data likelihood of the observation).
+
+        Uses a forward-only bucket pass — evidence probability needs no
+        backward message pass, which roughly halves the sweep cost of
+        likelihood scoring workloads.  Full-sweep results cached for the same
+        evidence are reused instead of running a new pass.
+        """
         evidence = dict(evidence)
         if not evidence:
             return 1.0
         self._validate([], evidence)
-        _, probability = self._all_marginals(evidence)
+        self._refresh_caches()
+        key = evidence_key(self.network, evidence)
+        cached_sweep = self._marginal_cache.get(key)
+        if cached_sweep is not None:
+            return cached_sweep[1]
+        cached_probability = self._probability_cache.get(key)
+        if cached_probability is not None:
+            return cached_probability
+        probability = self._forward_constant(evidence)
+        self._probability_cache.put(key, probability)
         return probability
+
+    def _forward_constant(self, evidence: Evidence) -> float:
+        """Run only the forward bucket pass and return ``P(evidence)``."""
+        self.sweep_count += 1
+        return self._forward_pass(evidence)[-1]

@@ -32,7 +32,13 @@ from repro.circuits.components import (
     PowerSwitch,
 )
 from repro.circuits.netlist import BlockNetlist
-from repro.circuits.behavioral import BehavioralSimulator, SimulationResult
+from repro.circuits.behavioral import (
+    BatchSimulationResult,
+    BehavioralSimulator,
+    DeviceContext,
+    SimulationPlan,
+    SimulationResult,
+)
 from repro.circuits.faults import FaultMode, BlockFault, FaultUniverse
 from repro.circuits.process_variation import ProcessVariation
 from repro.circuits.hypothetical import build_hypothetical_circuit
@@ -53,7 +59,10 @@ __all__ = [
     "LinearRegulator",
     "PowerSwitch",
     "BlockNetlist",
+    "BatchSimulationResult",
     "BehavioralSimulator",
+    "DeviceContext",
+    "SimulationPlan",
     "SimulationResult",
     "FaultMode",
     "BlockFault",

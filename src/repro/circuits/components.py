@@ -13,6 +13,15 @@ All blocks share the :class:`BehaviouralBlock` interface:
 ``evaluate(inputs, health)``
     map input net voltages to the block's output voltage, where ``health``
     scales/overrides the behaviour according to the injected fault.
+
+``evaluate_batch(inputs, modes, severities, size)``
+    the same computation over a whole device population at once: every input
+    net carries a ``(devices,)`` float array, faults are encoded as integer
+    mode codes (see :data:`FAULT_MODE_CODES`) and the output is a
+    ``(devices,)`` array.  Subclasses override :meth:`nominal_output_batch`
+    with numpy expressions; the base-class fallback loops over the device
+    axis with the scalar :meth:`nominal_output`, so custom blocks stay
+    batch-compatible without writing any array code.
 """
 
 from __future__ import annotations
@@ -20,7 +29,20 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Mapping, Sequence
 
+import numpy as np
+
 from repro.exceptions import CircuitError
+
+#: Integer encoding of fault modes used by the batched evaluation path
+#: (0 is reserved for "healthy").  The codes are an implementation detail of
+#: the device axis: scalar callers keep passing :class:`BlockHealth`.
+FAULT_MODE_CODES: dict[str, int] = {
+    "dead": 1,
+    "stuck_high": 2,
+    "short_to_supply": 3,
+    "degraded": 4,
+    "drift": 5,
+}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -87,10 +109,60 @@ class BehaviouralBlock:
             return nominal * (1.0 + 0.5 * health.severity)
         raise CircuitError(f"unknown fault mode {health.mode!r} on block {self.name!r}")
 
+    def _apply_fault_batch(self, nominal: np.ndarray,
+                           inputs: Mapping[str, np.ndarray],
+                           modes: np.ndarray,
+                           severities: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_apply_fault` over a device axis.
+
+        ``modes`` holds one :data:`FAULT_MODE_CODES` entry (or 0 = healthy)
+        per device; ``severities`` the matching severity.  Mode validation
+        happens where faults are encoded, so every code here is known.
+        """
+        value = np.array(nominal, dtype=float, copy=True)
+        dead = modes == FAULT_MODE_CODES["dead"]
+        if dead.any():
+            value[dead] = 0.0
+        stuck = modes == FAULT_MODE_CODES["stuck_high"]
+        if stuck.any():
+            value[stuck] = self.vmax
+        short = modes == FAULT_MODE_CODES["short_to_supply"]
+        if short.any():
+            if self.inputs:
+                supply = np.maximum.reduce(
+                    [np.asarray(inputs[net], dtype=float) for net in self.inputs])
+            else:
+                supply = np.full_like(value, self.vmax)
+            value[short] = np.maximum(supply, nominal)[short]
+        degraded = modes == FAULT_MODE_CODES["degraded"]
+        if degraded.any():
+            value[degraded] = (nominal[degraded]
+                               * np.maximum(0.0, 1.0 - 0.7 * severities[degraded]))
+        drift = modes == FAULT_MODE_CODES["drift"]
+        if drift.any():
+            value[drift] = nominal[drift] * (1.0 + 0.5 * severities[drift])
+        return value
+
     # --------------------------------------------------------------- behaviour
     def nominal_output(self, inputs: Mapping[str, float]) -> float:
         """Return the defect-free output voltage for the given input voltages."""
         raise NotImplementedError
+
+    def nominal_output_batch(self, inputs: Mapping[str, np.ndarray],
+                             size: int) -> np.ndarray:
+        """Return the defect-free output for ``size`` devices at once.
+
+        The generic fallback evaluates the scalar :meth:`nominal_output` per
+        device, so any custom block works on the batched path; built-in
+        blocks override it with numpy expressions.
+        """
+        out = np.empty(size, dtype=float)
+        scalar_inputs: dict[str, float] = {}
+        for index in range(size):
+            for net, values in inputs.items():
+                scalar_inputs[net] = float(values[index])
+            out[index] = self.nominal_output(scalar_inputs)
+        return out
 
     def evaluate(self, inputs: Mapping[str, float],
                  health: BlockHealth = HEALTHY) -> float:
@@ -102,6 +174,34 @@ class BehaviouralBlock:
         nominal = self.nominal_output(inputs)
         return float(min(max(self._apply_fault(nominal, inputs, health), -1.0),
                          self.vmax))
+
+    def evaluate_batch(self, inputs: Mapping[str, np.ndarray],
+                       modes: np.ndarray | None = None,
+                       severities: np.ndarray | None = None, *,
+                       size: int) -> np.ndarray:
+        """Return the block's output for a whole device population.
+
+        Parameters
+        ----------
+        inputs:
+            ``(devices,)`` float array per input net (primary-input blocks
+            receive the forced condition arrays instead).
+        modes / severities:
+            Optional per-device fault-mode codes and severities; ``None``
+            means every device is healthy.
+        size:
+            Number of devices along the batch axis.
+        """
+        for net in self.inputs:
+            if net not in inputs:
+                raise CircuitError(
+                    f"block {self.name!r} is missing input net {net!r}")
+        nominal = np.asarray(self.nominal_output_batch(inputs, size), dtype=float)
+        if modes is None:
+            value = nominal
+        else:
+            value = self._apply_fault_batch(nominal, inputs, modes, severities)
+        return np.minimum(np.maximum(value, -1.0), self.vmax)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r}, inputs={self.inputs})"
@@ -121,10 +221,25 @@ class SupplyInput(BehaviouralBlock):
     def nominal_output(self, inputs: Mapping[str, float]) -> float:
         return float(inputs.get(self.name, self.default))
 
+    def nominal_output_batch(self, inputs: Mapping[str, np.ndarray],
+                             size: int) -> np.ndarray:
+        forced = inputs.get(self.name)
+        if forced is None:
+            return np.full(size, self.default)
+        return np.asarray(forced, dtype=float)
+
     def evaluate(self, inputs: Mapping[str, float],
                  health: BlockHealth = HEALTHY) -> float:
         # Controllable nets are forced by the tester; health is ignored.
         return float(min(max(self.nominal_output(inputs), -1.0), self.vmax))
+
+    def evaluate_batch(self, inputs: Mapping[str, np.ndarray],
+                       modes: np.ndarray | None = None,
+                       severities: np.ndarray | None = None, *,
+                       size: int) -> np.ndarray:
+        # Controllable nets are forced by the tester; health is ignored.
+        nominal = self.nominal_output_batch(inputs, size)
+        return np.minimum(np.maximum(nominal, -1.0), self.vmax)
 
 
 class PinInput(SupplyInput):
@@ -159,6 +274,16 @@ class BandgapReference(BehaviouralBlock):
             return 0.1
         return self.reference
 
+    def nominal_output_batch(self, inputs: Mapping[str, np.ndarray],
+                             size: int) -> np.ndarray:
+        supply = np.asarray(inputs[self.supply], dtype=float)
+        out = np.where(supply < self.headroom, 0.05 * supply, self.reference)
+        if self.enable is not None:
+            enable = np.asarray(inputs[self.enable], dtype=float)
+            out = np.where((supply >= self.headroom)
+                           & (enable < self.enable_threshold), 0.1, out)
+        return out
+
 
 class OrNode(BehaviouralBlock):
     """An analogue OR of several pins (the paper's ``vx`` model variable).
@@ -174,6 +299,11 @@ class OrNode(BehaviouralBlock):
 
     def nominal_output(self, inputs: Mapping[str, float]) -> float:
         return max(inputs[pin] for pin in self.inputs)
+
+    def nominal_output_batch(self, inputs: Mapping[str, np.ndarray],
+                             size: int) -> np.ndarray:
+        return np.maximum.reduce(
+            [np.asarray(inputs[pin], dtype=float) for pin in self.inputs])
 
 
 class EnableSense(BehaviouralBlock):
@@ -201,6 +331,15 @@ class EnableSense(BehaviouralBlock):
         if inputs[self.or_net] >= self.or_threshold and reference_ok:
             return self.active_level
         return 0.1
+
+    def nominal_output_batch(self, inputs: Mapping[str, np.ndarray],
+                             size: int) -> np.ndarray:
+        low, high = self.reference_window
+        reference = np.asarray(inputs[self.reference_net], dtype=float)
+        or_net = np.asarray(inputs[self.or_net], dtype=float)
+        active = ((or_net >= self.or_threshold)
+                  & (low <= reference) & (reference <= high))
+        return np.where(active, self.active_level, 0.1)
 
 
 class SupplyMonitor(BehaviouralBlock):
@@ -237,6 +376,18 @@ class SupplyMonitor(BehaviouralBlock):
             return self.on_level
         return 0.1
 
+    def nominal_output_batch(self, inputs: Mapping[str, np.ndarray],
+                             size: int) -> np.ndarray:
+        low, high = self.primary_window
+        primary = np.asarray(inputs[self.primary_reference], dtype=float)
+        secondary = np.asarray(inputs[self.secondary_reference], dtype=float)
+        good = ((low <= primary) & (primary <= high)
+                & (secondary >= self.secondary_threshold))
+        if self.supply is not None:
+            supply = np.asarray(inputs[self.supply], dtype=float)
+            good = good & (supply >= self.supply_threshold)
+        return np.where(good, self.on_level, 0.1)
+
 
 class EnableGate(BehaviouralBlock):
     """Internal enable gate (the paper's ``enb13``/``enb4``/``enbsw``).
@@ -265,6 +416,16 @@ class EnableGate(BehaviouralBlock):
         if inputs[self.monitor] < self.monitor_threshold:
             return 0.1
         return self.active_level
+
+    def nominal_output_batch(self, inputs: Mapping[str, np.ndarray],
+                             size: int) -> np.ndarray:
+        pin = np.asarray(inputs[self.pin], dtype=float)
+        monitor = np.asarray(inputs[self.monitor], dtype=float)
+        valid = np.zeros(pin.shape, dtype=bool)
+        for low, high in self.pin_windows:
+            valid |= (low <= pin) & (pin <= high)
+        return np.where(valid & (monitor >= self.monitor_threshold),
+                        self.active_level, 0.1)
 
 
 class LinearRegulator(BehaviouralBlock):
@@ -308,6 +469,19 @@ class LinearRegulator(BehaviouralBlock):
             return max(0.0, supply - self.dropout)
         return regulated
 
+    def nominal_output_batch(self, inputs: Mapping[str, np.ndarray],
+                             size: int) -> np.ndarray:
+        reference = np.asarray(inputs[self.reference], dtype=float)
+        supply = np.asarray(inputs[self.supply], dtype=float)
+        regulated = self.target * (reference / self.nominal_reference)
+        out = np.where(supply < regulated + self.dropout,
+                       np.maximum(0.0, supply - self.dropout), regulated)
+        out = np.where(reference < self.reference_threshold, 0.05, out)
+        if self.enable is not None:
+            enable = np.asarray(inputs[self.enable], dtype=float)
+            out = np.where(enable < self.enable_threshold, 0.05, out)
+        return out
+
 
 class PowerSwitch(BehaviouralBlock):
     """The built-in power switch (the paper's ``sw``).
@@ -337,3 +511,12 @@ class PowerSwitch(BehaviouralBlock):
             return 0.05
         output = inputs[self.supply] - self.drop
         return min(output, self.clamp_level)
+
+    def nominal_output_batch(self, inputs: Mapping[str, np.ndarray],
+                             size: int) -> np.ndarray:
+        supply = np.asarray(inputs[self.supply], dtype=float)
+        ignition = np.asarray(inputs[self.ignition], dtype=float)
+        enable = np.asarray(inputs[self.enable], dtype=float)
+        out = np.minimum(supply - self.drop, self.clamp_level)
+        out = np.where(ignition < self.ignition_on_threshold, 0.05, out)
+        return np.where(enable < self.enable_threshold, 0.05, out)

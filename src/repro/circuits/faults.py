@@ -151,9 +151,45 @@ class FaultUniverse:
                     rng: int | np.random.Generator | None = None,
                     block_weights: dict[str, float] | None = None
                     ) -> list[BlockFault]:
-        """Draw ``count`` independent faults."""
+        """Draw ``count`` independent faults (scalar reference path)."""
         generator = ensure_rng(rng)
         return [self.sample(generator, block_weights) for _ in range(count)]
+
+    def sample_batch(self, count: int,
+                     rng: int | np.random.Generator | None = None,
+                     block_weights: dict[str, float] | None = None
+                     ) -> list[BlockFault]:
+        """Draw ``count`` independent faults with vectorised random draws.
+
+        Same distribution as :meth:`sample_many`, but blocks, modes and
+        severities are drawn as whole arrays (three generator calls total
+        instead of two-to-three per device), which is what the population
+        generator uses.  The random stream differs from the scalar path, so
+        the two are interchangeable per-population, not per-draw.
+        """
+        if count <= 0:
+            return []
+        generator = ensure_rng(rng)
+        weights = np.array([
+            (block_weights or {}).get(block, 1.0) for block in self.faultable_blocks
+        ], dtype=float)
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise FaultError("block weights must be non-negative and not all zero")
+        block_indices = generator.choice(len(self.faultable_blocks), size=count,
+                                         p=weights / weights.sum())
+        mode_indices = generator.integers(len(self.modes), size=count)
+        parametric = np.array([self.modes[index] in (FaultMode.DEGRADED,
+                                                     FaultMode.DRIFT)
+                               for index in mode_indices])
+        severities = np.ones(count)
+        parametric_count = int(parametric.sum())
+        if parametric_count:
+            drawn = generator.integers(len(self.severities), size=parametric_count)
+            severities[parametric] = np.array(self.severities)[drawn]
+        return [BlockFault(self.faultable_blocks[int(block)],
+                           self.modes[int(mode)], float(severity))
+                for block, mode, severity in zip(block_indices, mode_indices,
+                                                 severities)]
 
     def __len__(self) -> int:
         return len(self.enumerate())

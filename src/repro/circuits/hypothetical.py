@@ -19,6 +19,8 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Mapping
 
+import numpy as np
+
 from repro.circuits.components import BehaviouralBlock, SupplyInput
 from repro.circuits.faults import FaultMode, FaultUniverse
 from repro.circuits.netlist import BlockNetlist
@@ -44,6 +46,12 @@ class _GainStage(BehaviouralBlock):
         if drive < self.threshold:
             return 0.05
         return min(self.gain * drive, self.saturation)
+
+    def nominal_output_batch(self, inputs: Mapping[str, np.ndarray],
+                             size: int) -> np.ndarray:
+        drive = np.asarray(inputs[self.driver], dtype=float)
+        return np.where(drive < self.threshold, 0.05,
+                        np.minimum(self.gain * drive, self.saturation))
 
 
 @dataclasses.dataclass

@@ -62,9 +62,30 @@ class ProcessVariation:
             multipliers[block] = float(np.clip(value, 1.0 - self.clip, 1.0 + self.clip))
         return multipliers
 
+    def sample_devices(self, blocks: Sequence[str], count: int,
+                       rng: int | np.random.Generator | None = None
+                       ) -> np.ndarray:
+        """Draw multipliers for ``count`` devices as a ``(count, blocks)`` array.
+
+        The draws are made device-major over the non-zero-sigma blocks, which
+        is exactly the order ``count`` successive :meth:`sample` calls
+        consume, so with the same generator state the batched and scalar
+        paths produce identical multipliers.
+        """
+        blocks = list(blocks)
+        sigmas = np.array([self.sigma_of(block) for block in blocks], dtype=float)
+        multipliers = np.ones((count, len(blocks)))
+        varying = np.flatnonzero(sigmas != 0)
+        if varying.size and count:
+            draws = ensure_rng(rng).normal(1.0, sigmas[varying],
+                                           size=(count, varying.size))
+            multipliers[:, varying] = np.clip(draws, 1.0 - self.clip,
+                                              1.0 + self.clip)
+        return multipliers
+
     def sample_population(self, blocks: Sequence[str], count: int,
                           rng: int | np.random.Generator | None = None
                           ) -> list[dict[str, float]]:
-        """Draw multipliers for ``count`` devices."""
+        """Draw multipliers for ``count`` devices as per-device mappings."""
         generator = ensure_rng(rng)
         return [self.sample(blocks, generator) for _ in range(count)]

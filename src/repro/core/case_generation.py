@@ -13,6 +13,8 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.ate.datalog import DeviceDatalog
 from repro.ate.tester import DeviceResult
 from repro.core.circuit_model import CircuitModelDescription
@@ -122,18 +124,96 @@ class CaseGenerator:
                            only_failing_devices: bool = False) -> list[LabeledCase]:
         """Return the cases of many device results.
 
+        Devices that ran the same test program are grouped and processed as
+        one batch: the test conditions are labelled and classified once per
+        group (not once per device) and every measurement column is
+        discretised with one array classification.  The output is identical
+        to concatenating :meth:`cases_from_device_result` per device — the
+        equivalence tests pin that.
+
         Parameters
         ----------
         only_failing_devices:
             When ``True``, devices that passed every specification test are
             skipped (the paper's cases come from failed products only).
         """
+        selected = [result for result in results
+                    if result.failed or not only_failing_devices]
+        if not selected:
+            return []
+        # Group devices by program structure.  Condition labels are cached by
+        # conditions-mapping identity: the batched tester shares one mapping
+        # per test across the whole population, so each label is computed
+        # once per test rather than once per measurement.
+        label_cache: dict[int, str] = {}
+        groups: dict[tuple, list[int]] = {}
+        for position, result in enumerate(selected):
+            signature = tuple(
+                (m.test_number, m.block,
+                 self._cached_condition_label(m.conditions, label_cache))
+                for m in result.measurements)
+            groups.setdefault(signature, []).append(position)
+        cases_per_result: list[list[LabeledCase]] = [[] for _ in selected]
+        for signature, positions in groups.items():
+            self._cases_for_group(signature, [selected[p] for p in positions],
+                                  positions, cases_per_result)
         cases: list[LabeledCase] = []
-        for result in results:
-            if only_failing_devices and not result.failed:
-                continue
-            cases.extend(self.cases_from_device_result(result))
+        for device_cases in cases_per_result:
+            cases.extend(device_cases)
         return cases
+
+    def _cached_condition_label(self, conditions: Mapping[str, float],
+                                cache: dict[int, str]) -> str:
+        key = id(conditions)
+        label = cache.get(key)
+        if label is None:
+            label = self._condition_label(conditions)
+            cache[key] = label
+        return label
+
+    def _cases_for_group(self, signature: tuple,
+                         group_results: Sequence[DeviceResult],
+                         positions: Sequence[int],
+                         sink: list[list[LabeledCase]]) -> None:
+        """Emit the cases of one same-program device group into ``sink``."""
+        if not signature:
+            return
+        variable_names = set(self.model.variable_names)
+        values = np.array([[m.value for m in result.measurements]
+                           for result in group_results])
+        passed = np.array([[m.passed for m in result.measurements]
+                           for result in group_results], dtype=bool)
+        # Measurement positions per condition label, first-occurrence order.
+        condition_groups: dict[str, list[int]] = {}
+        for index, (_, _, label) in enumerate(signature):
+            condition_groups.setdefault(label, []).append(index)
+        prototypes = []
+        for label, measurement_positions in condition_groups.items():
+            base = self._empty_case()
+            first = group_results[0].measurements[measurement_positions[0]]
+            self._classify_conditions(base, first.conditions)
+            model_positions = [index for index in measurement_positions
+                               if signature[index][1] in variable_names]
+            column_labels = {
+                index: self._discretizer.classify_array(signature[index][1],
+                                                        values[:, index])
+                for index in model_positions}
+            if model_positions:
+                failed_rows = ~passed[:, model_positions].all(axis=1)
+            else:
+                failed_rows = np.zeros(len(group_results), dtype=bool)
+            prototypes.append((label, model_positions, base, column_labels,
+                               failed_rows))
+        for device, (result, position) in enumerate(zip(group_results, positions)):
+            device_cases = []
+            for label, model_positions, base, column_labels, failed_rows in prototypes:
+                case = dict(base)
+                for index in model_positions:
+                    case[signature[index][1]] = column_labels[index][device]
+                device_cases.append(LabeledCase(
+                    device_id=result.device_id, condition_label=label,
+                    assignments=case, failed=bool(failed_rows[device])))
+            sink[position] = device_cases
 
     # ----------------------------------------------------------- from datalogs
     def cases_from_datalog(self, datalog: DeviceDatalog) -> list[LabeledCase]:

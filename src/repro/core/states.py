@@ -18,6 +18,8 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.exceptions import StateDefinitionError
 
 
@@ -130,6 +132,74 @@ class StateTable:
                       key=lambda state: self._distance(state, value))
         return nearest.label
 
+    # ------------------------------------------------------- array discretising
+    def _window_arrays(self) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Return cached ``(lows, highs, monotone)`` window arrays.
+
+        ``monotone`` is ``True`` when both the lower and the upper limits are
+        non-decreasing in priority order — the common Table II/VII layout —
+        which enables the ``searchsorted`` fast path.  State definitions are
+        frozen, so the cache never goes stale.
+        """
+        cached = self.__dict__.get("_window_cache")
+        if cached is None:
+            lows = np.array([min(state.lower, state.upper)
+                             for state in self.states])
+            highs = np.array([max(state.lower, state.upper)
+                              for state in self.states])
+            monotone = bool(np.all(np.diff(lows) >= 0)
+                            and np.all(np.diff(highs) >= 0))
+            cached = (lows, highs, monotone)
+            self.__dict__["_window_cache"] = cached
+        return cached
+
+    def classify_indices(self, values, *, strict: bool = False) -> np.ndarray:
+        """Vectorised :meth:`classify`: map values to state *positions*.
+
+        When the windows are monotone a single ``searchsorted`` over the
+        upper limits resolves every value; overlapping priority layouts fall
+        back to one mask per state (still array-at-a-time).  Out-of-window
+        values snap to the nearest window exactly like the scalar path.
+        """
+        values = np.asarray(values, dtype=float)
+        lows, highs, monotone = self._window_arrays()
+        count = len(self.states)
+        if monotone:
+            # First state whose upper limit reaches the value; contained iff
+            # its lower limit does too (earlier states all end below value).
+            indices = np.searchsorted(highs, values, side="left")
+            clipped = np.minimum(indices, count - 1)
+            contained = ((indices < count) & (lows[clipped] <= values)
+                         & (values <= highs[clipped]))
+            result = np.where(contained, clipped, -1)
+        else:
+            result = np.full(values.shape, -1, dtype=np.int64)
+            unassigned = np.ones(values.shape, dtype=bool)
+            for position in range(count):
+                hits = (unassigned & (values >= lows[position])
+                        & (values <= highs[position]))
+                if hits.any():
+                    result[hits] = position
+                    unassigned &= ~hits
+        missing = result < 0
+        if missing.any():
+            if strict:
+                bad = values[missing][0]
+                raise StateDefinitionError(
+                    f"value {bad} for variable {self.variable!r} falls outside "
+                    f"every defined state window")
+            outside = values[missing]
+            distances = (np.maximum(lows[:, None] - outside[None, :], 0.0)
+                         + np.maximum(outside[None, :] - highs[:, None], 0.0))
+            result[missing] = np.argmin(distances, axis=0)
+        return result
+
+    def classify_batch(self, values, *, strict: bool = False) -> list[str]:
+        """Vectorised :meth:`classify`: map an array of values to labels."""
+        labels = self.labels
+        return [labels[index]
+                for index in self.classify_indices(values, strict=strict)]
+
     @staticmethod
     def _distance(state: StateDefinition, value: float) -> float:
         low, high = sorted((state.lower, state.upper))
@@ -186,6 +256,10 @@ class Discretizer:
     def classify(self, variable: str, value: float) -> str:
         """Discretise one measurement."""
         return self.table(variable).classify(value, strict=self.strict)
+
+    def classify_array(self, variable: str, values) -> list[str]:
+        """Discretise an array of measurements of one variable at once."""
+        return self.table(variable).classify_batch(values, strict=self.strict)
 
     def classify_all(self, measurements: Mapping[str, float]) -> dict[str, str]:
         """Discretise every measurement for which a state table exists."""

@@ -1,0 +1,282 @@
+"""Batched-vs-scalar equivalence suite for the device-population pipeline.
+
+The batched simulate→test→discretise→case path must be a drop-in replacement
+for the scalar one: with the same seeds (and explicit multipliers, so both
+paths consume the random stream in the same order) the batch reproduces the
+scalar results to 1e-12, populations are deterministic under a fixed seed,
+and masked-fault re-draws keep the scalar retry semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ate import ATETester, PopulationGenerator
+from repro.bayesnet import VariableElimination
+from repro.circuits import BehavioralSimulator, BlockFault, FaultMode
+from repro.circuits.components import BehaviouralBlock
+from repro.core import CaseGenerator
+from repro.exceptions import ATEError
+
+
+def make_simulator(circuit, seed, noise=0.01):
+    return BehavioralSimulator(circuit.netlist, measurement_noise=noise,
+                               process_variation=circuit.process_variation,
+                               seed=seed)
+
+
+def all_mode_faults(circuit):
+    """One fault map per device covering every mode plus a healthy device."""
+    blocks = circuit.fault_universe.faultable_blocks
+    fault_maps = [None]
+    for index, mode in enumerate(FaultMode):
+        block = blocks[index % len(blocks)]
+        severity = 0.6 if mode in (FaultMode.DEGRADED, FaultMode.DRIFT) else 1.0
+        fault_maps.append({block: BlockFault(block, mode, severity)})
+    return fault_maps
+
+
+class TestRunBatchEquivalence:
+    def test_noiseless_batch_matches_scalar(self, regulator_circuit):
+        simulator = make_simulator(regulator_circuit, seed=1, noise=0.0)
+        fault_maps = all_mode_faults(regulator_circuit)
+        count = len(fault_maps)
+        multipliers = simulator.sample_devices(count)
+        conditions = regulator_circuit.nominal_conditions
+        batch = simulator.run_batch(conditions, fault_maps, multipliers,
+                                    noisy=False)
+        names = simulator.netlist.block_names
+        for device, faults in enumerate(fault_maps):
+            per_block = dict(zip(names, multipliers[device]))
+            scalar = simulator.run(conditions, faults, per_block, noisy=False)
+            assert batch.device_voltages(device) == pytest.approx(
+                scalar.voltages, abs=1e-12)
+
+    def test_noisy_batch_matches_scalar_stream(self, regulator_circuit):
+        """Same seed + explicit multipliers: bit-compatible noise draws."""
+        fault_maps = all_mode_faults(regulator_circuit)
+        count = len(fault_maps)
+        multipliers = make_simulator(regulator_circuit, 3).sample_devices(count)
+        conditions = regulator_circuit.nominal_conditions
+
+        batch_sim = make_simulator(regulator_circuit, seed=5)
+        batch = batch_sim.run_batch(conditions, fault_maps, multipliers)
+
+        scalar_sim = make_simulator(regulator_circuit, seed=5)
+        names = scalar_sim.netlist.block_names
+        for device, faults in enumerate(fault_maps):
+            per_block = dict(zip(names, multipliers[device]))
+            scalar = scalar_sim.run(conditions, faults, per_block)
+            assert batch.device_voltages(device) == pytest.approx(
+                scalar.voltages, abs=1e-12)
+
+    def test_sample_devices_matches_sample_device(self, regulator_circuit):
+        batch_sim = make_simulator(regulator_circuit, seed=7)
+        multipliers = batch_sim.sample_devices(10)
+        scalar_sim = make_simulator(regulator_circuit, seed=7)
+        names = scalar_sim.netlist.block_names
+        for device in range(10):
+            scalar = scalar_sim.sample_device()
+            assert dict(zip(names, multipliers[device])) == pytest.approx(
+                scalar, abs=1e-12)
+
+    def test_generic_block_fallback_matches_scalar(self):
+        """Custom blocks without a numpy override use the per-device loop."""
+        from repro.circuits import BlockNetlist, SupplyInput
+
+        class Doubler(BehaviouralBlock):
+            def __init__(self, name, driver):
+                super().__init__(name, inputs=[driver], vmax=20.0)
+                self.driver = driver
+
+            def nominal_output(self, inputs):
+                return 2.0 * inputs[self.driver] + 0.25
+
+        netlist = BlockNetlist("custom")
+        netlist.add_blocks([SupplyInput("vin", default=1.0, vmax=20.0),
+                            Doubler("out", "vin")])
+        simulator = BehavioralSimulator(netlist, measurement_noise=0.0, seed=9)
+        faults = [None, {"out": BlockFault("out", FaultMode.DEGRADED, 0.5)}]
+        batch = simulator.run_batch({"vin": 3.0}, faults, noisy=False)
+        for device, fault in enumerate(faults):
+            scalar = simulator.run({"vin": 3.0}, fault, noisy=False)
+            assert batch.device_voltages(device) == pytest.approx(
+                scalar.voltages, abs=1e-12)
+
+    def test_batch_size_required_without_context(self, regulator_circuit):
+        simulator = make_simulator(regulator_circuit, seed=11)
+        from repro.exceptions import CircuitError
+        with pytest.raises(CircuitError):
+            simulator.run_batch(regulator_circuit.nominal_conditions)
+        batch = simulator.run_batch(regulator_circuit.nominal_conditions, size=4)
+        assert batch.device_count == 4
+
+
+class TestTesterEquivalence:
+    def test_test_devices_matches_test_device(self, regulator_circuit,
+                                              regulator_program):
+        fault_maps = all_mode_faults(regulator_circuit)
+        count = len(fault_maps)
+        multipliers = make_simulator(regulator_circuit, 13).sample_devices(count)
+        names = regulator_circuit.netlist.block_names
+        device_ids = [f"EQ-{index}" for index in range(count)]
+
+        batch_sim = make_simulator(regulator_circuit, seed=17)
+        batch_tester = ATETester(batch_sim, regulator_program)
+        batch_results = batch_tester.test_devices(device_ids, fault_maps,
+                                                  multipliers)
+
+        scalar_sim = make_simulator(regulator_circuit, seed=17)
+        scalar_tester = ATETester(scalar_sim, regulator_program)
+        for device, (device_id, faults) in enumerate(zip(device_ids, fault_maps)):
+            per_block = dict(zip(names, multipliers[device]))
+            scalar = scalar_tester.test_device(device_id, faults, per_block)
+            batched = batch_results[device]
+            assert batched.device_id == scalar.device_id
+            assert batched.faults == scalar.faults
+            assert batched.failed == scalar.failed
+            assert len(batched.measurements) == len(scalar.measurements)
+            for got, expected in zip(batched.measurements, scalar.measurements):
+                assert got.test_number == expected.test_number
+                assert got.block == expected.block
+                assert got.value == pytest.approx(expected.value, abs=1e-12)
+                assert got.passed == expected.passed
+                assert dict(got.conditions) == dict(expected.conditions)
+
+    def test_stop_on_fail_rejects_batch(self, regulator_circuit,
+                                        regulator_program):
+        simulator = make_simulator(regulator_circuit, seed=19)
+        tester = ATETester(simulator, regulator_program, stop_on_fail=True)
+        with pytest.raises(ATEError):
+            tester.test_devices(["X-1"])
+
+    def test_mismatched_fault_count_rejected(self, regulator_circuit,
+                                             regulator_program):
+        simulator = make_simulator(regulator_circuit, seed=23)
+        tester = ATETester(simulator, regulator_program)
+        with pytest.raises(ATEError):
+            tester.test_devices(["A", "B"], [None])
+
+
+class TestPopulationSemantics:
+    def test_generate_is_deterministic(self, regulator_circuit,
+                                       regulator_program):
+        populations = []
+        for _ in range(2):
+            simulator = make_simulator(regulator_circuit, seed=29)
+            generator = PopulationGenerator(
+                simulator, regulator_program, regulator_circuit.fault_universe,
+                regulator_circuit.block_weights, seed=31)
+            populations.append(generator.generate(failed_count=15,
+                                                  passing_count=5))
+        first, second = populations
+        assert first.device_ids == second.device_ids
+        assert {d: f.label for d, f in first.ground_truth.items()} == \
+            {d: f.label for d, f in second.ground_truth.items()}
+        for left, right in zip(first.results, second.results):
+            values_left = [m.value for m in left.measurements]
+            values_right = [m.value for m in right.measurements]
+            assert values_left == pytest.approx(values_right, abs=0.0)
+
+    def test_masked_fault_redraw_parity(self, regulator_circuit,
+                                        regulator_program):
+        """Re-draw semantics: every accepted failed device observably fails."""
+        simulator = make_simulator(regulator_circuit, seed=37)
+        generator = PopulationGenerator(
+            simulator, regulator_program, regulator_circuit.fault_universe,
+            regulator_circuit.block_weights, seed=41)
+        population = generator.generate(failed_count=40)
+        assert len(population) == 40
+        assert len(population.ground_truth) == 40
+        # With 20 attempts per device a masked fault surviving is vanishingly
+        # rare on this circuit; every device must fail at least one test and
+        # carry exactly the ground-truth fault.
+        for result in population.results:
+            assert result.failed
+            fault = population.ground_truth[result.device_id]
+            assert result.faults == {fault.block: fault}
+
+    def test_redraw_disabled_keeps_first_draw(self, regulator_circuit,
+                                              regulator_program):
+        simulator = make_simulator(regulator_circuit, seed=43)
+        generator = PopulationGenerator(
+            simulator, regulator_program, regulator_circuit.fault_universe,
+            regulator_circuit.block_weights, seed=47)
+        population = generator.generate(failed_count=30,
+                                        require_observable_failure=False)
+        # Without re-draws the device ids are exactly the first 30 draws.
+        assert population.device_ids == [f"DEV-{i:05d}" for i in range(1, 31)]
+
+
+class TestCaseGenerationEquivalence:
+    def test_cases_from_results_matches_per_device(self, regulator_circuit,
+                                                   regulator_population):
+        generator = CaseGenerator(regulator_circuit.model)
+        batched = generator.cases_from_results(regulator_population.results)
+        scalar = []
+        for result in regulator_population.results:
+            scalar.extend(generator.cases_from_device_result(result))
+        assert batched == scalar
+
+    def test_only_failing_devices_filter(self, regulator_circuit,
+                                         regulator_population):
+        generator = CaseGenerator(regulator_circuit.model)
+        batched = generator.cases_from_results(regulator_population.results,
+                                               only_failing_devices=True)
+        scalar = []
+        for result in regulator_population.results:
+            if result.failed:
+                scalar.extend(generator.cases_from_device_result(result))
+        assert batched == scalar
+
+    def test_classify_array_matches_scalar(self, regulator_circuit):
+        discretizer = regulator_circuit.model.discretizer()
+        rng = np.random.default_rng(53)
+        for variable in discretizer.variables:
+            table = discretizer.table(variable)
+            edges = [limit for state in table.states
+                     for limit in (state.lower, state.upper)]
+            values = np.concatenate([
+                rng.uniform(-2.0, 30.0, size=200), np.array(edges)])
+            batched = discretizer.classify_array(variable, values)
+            assert batched == [discretizer.classify(variable, float(value))
+                               for value in values]
+
+    def test_classify_array_hypothetical(self, hypothetical_circuit):
+        discretizer = hypothetical_circuit.model.discretizer()
+        values = np.linspace(-1.0, 22.0, 113)
+        for variable in discretizer.variables:
+            assert discretizer.classify_array(variable, values) == [
+                discretizer.classify(variable, float(value)) for value in values]
+
+
+class TestEliminationOrderMemoisation:
+    def test_heuristic_runs_once_per_free_set(self, regulator_built_model):
+        calls = []
+
+        def counting_heuristic(network, to_eliminate):
+            from repro.bayesnet.inference.elimination_order import min_fill_order
+            calls.append(frozenset(to_eliminate))
+            return min_fill_order(network, to_eliminate)
+
+        engine = VariableElimination(regulator_built_model.network,
+                                     elimination_order=counting_heuristic)
+        internal = regulator_built_model.description.internal_variables
+        evidence_a = {"reg1": "0", "reg2": "1"}
+        evidence_b = {"reg1": "2", "reg2": "0"}  # same free-variable set
+        engine.posteriors(internal, evidence_a)
+        engine.posteriors(internal, evidence_b)
+        assert len(calls) == 1
+        engine.posteriors(internal, {"reg1": "0", "reg3": "1"})
+        assert len(calls) == 2
+
+    def test_forward_only_probability_matches_full_sweep(
+            self, regulator_built_model):
+        engine = VariableElimination(regulator_built_model.network)
+        evidence = {"reg1": "0", "reg2": "1", "sw": "1"}
+        forward = engine.probability_of_evidence(evidence)
+        fresh = VariableElimination(regulator_built_model.network)
+        fresh.posteriors(["lcbg"], evidence)  # populates the full-sweep cache
+        assert forward == pytest.approx(fresh.probability_of_evidence(evidence),
+                                        rel=1e-12)
