@@ -19,7 +19,12 @@ import time
 from repro.ate import PopulationGenerator
 from repro.ate.programs import REGULATOR_CONDITION_SETS, build_functional_program
 from repro.circuits import BehavioralSimulator, build_voltage_regulator
-from repro.core import DiagnosisEngine, Dlog2BBN
+from repro.core import (
+    DiagnosisEngine,
+    Dlog2BBN,
+    FallbackPolicy,
+    RobustDiagnosisEngine,
+)
 from repro.core.behavioral_prior import SimulationPriorBuilder
 from repro.core.paper_cases import PAPER_DIAGNOSTIC_CASES, PAPER_EXPECTED_SUSPECTS
 from repro.core.report import case_summary_table
@@ -86,6 +91,37 @@ def main() -> None:
           f"({len(big_population) / generated:,.0f} devices/s), "
           f"{len(big_cases)} learning cases in {converted * 1e3:.0f} ms "
           f"({len(big_cases) / converted:,.0f} cases/s).")
+
+    # 7. Robust serving: real returned-device logs are noisy.  The robust
+    #    engine validates evidence up front, falls back from exact to
+    #    approximate inference under a deadline, and isolates per-case
+    #    failures so one poisoned record cannot kill a population sweep.
+    robust = RobustDiagnosisEngine(
+        built,
+        FallbackPolicy(chain=("ve", "lw", "gibbs"), deadline=2.0,
+                       num_samples=2000, seed=0))
+    noisy_batch = [
+        PAPER_DIAGNOSTIC_CASES[0].evidence(),      # clean record
+        {"vp1": "99", "bogus_pin": "1"},           # corrupted datalog row
+        PAPER_DIAGNOSTIC_CASES[1].evidence(),      # clean record
+    ]
+    results = robust.diagnose_batch(
+        noisy_batch, names=["device-001", "device-002", "device-003"],
+        on_error="collect")
+    print()
+    print("Robust batch over a noisy population (on_error='collect'):")
+    for result in results:
+        if result.ok:
+            provenance = result.provenance
+            flags = "degraded" if provenance.degraded else "healthy"
+            ess = ("" if provenance.effective_sample_size is None else
+                   f", ess={provenance.effective_sample_size:.0f}")
+            print(f"  {result.case_name}: suspects={result.suspects} "
+                  f"[engine={provenance.engine}, {flags}, "
+                  f"wall={provenance.wall_time * 1e3:.1f}ms{ess}]")
+        else:
+            print(f"  {result.case_name}: FAILED ({result.error_type}) "
+                  f"{result.message.splitlines()[0]}")
 
 
 if __name__ == "__main__":

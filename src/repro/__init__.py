@@ -74,11 +74,14 @@ from repro.core import (
     CircuitModelDescription,
     Diagnosis,
     DiagnosisEngine,
+    DiagnosisFailure,
     DiagnosisMetrics,
     DiagnosticCase,
     DiagnosticReport,
     Dlog2BBN,
+    FallbackPolicy,
     ModelVariable,
+    RobustDiagnosisEngine,
     StateDefinition,
     StateTable,
 )
@@ -91,10 +94,13 @@ __all__ = [
     "CircuitModelDescription",
     "Diagnosis",
     "DiagnosisEngine",
+    "DiagnosisFailure",
     "DiagnosisMetrics",
     "DiagnosticCase",
     "DiagnosticReport",
     "Dlog2BBN",
+    "FallbackPolicy",
+    "RobustDiagnosisEngine",
     "ModelVariable",
     "StateDefinition",
     "StateTable",

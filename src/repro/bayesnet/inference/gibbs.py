@@ -21,7 +21,7 @@ import numpy as np
 from repro.bayesnet.factor import DiscreteFactor
 from repro.bayesnet.network import BayesianNetwork
 from repro.bayesnet.sampling import CompiledSampler, state_to_index
-from repro.exceptions import InferenceError
+from repro.exceptions import ImpossibleEvidenceError, InferenceError
 from repro.utils.rng import ensure_rng
 
 Evidence = Mapping[str, str | int]
@@ -131,13 +131,38 @@ class GibbsSampling(CompiledSampler):
                 node, {v: s[dead] for v, s in states.items()})
             totals = probabilities.sum(axis=1)
             if np.any(totals <= 0):
-                raise InferenceError(
+                raise ImpossibleEvidenceError(
                     f"cannot resample {node!r}: all conditional "
-                    "probabilities are zero")
+                    "probabilities are zero; the evidence is (nearly) "
+                    "impossible under the model", evidence=dict(evidence))
+        if not np.all(np.isfinite(totals)):
+            raise InferenceError(
+                f"non-finite conditional mass while resampling {node!r}; "
+                "the network contains corrupted (NaN/inf) CPD entries")
         cumulative = np.cumsum(probabilities, axis=1)
         uniforms = self._rng.random(len(totals)) * totals
         drawn = (cumulative < uniforms[:, None]).sum(axis=1)
         states[node] = np.minimum(drawn, probabilities.shape[1] - 1).astype(np.intp)
+
+    def _has_feasible_chain(self, states: Mapping[str, np.ndarray],
+                            count: int) -> bool:
+        """Return whether any chain starts at nonzero clamped joint probability.
+
+        A deterministic-zero evidence factor need not touch any free node's
+        Markov blanket, so the per-node conditional check alone cannot see
+        global impossibility; the clamped joint probability of the
+        forward-sampled chains is the tell.  Consumes no RNG.
+        """
+        joint = np.ones(count, dtype=float)
+        for node in self._order:
+            compiled = self._compiled[node]
+            columns = compiled.columns(states, count)
+            joint *= compiled.table_t[columns, states[node]]
+        if not np.all(np.isfinite(joint)):
+            raise InferenceError(
+                "non-finite chain probability; the network contains "
+                "corrupted (NaN/inf) CPD entries")
+        return bool(np.any(joint > 0.0))
 
     def sample_states(self, evidence: Evidence | None = None
                       ) -> dict[str, np.ndarray]:
@@ -154,6 +179,18 @@ class GibbsSampling(CompiledSampler):
                 raise InferenceError(f"unknown evidence variable {variable!r}")
         chains = self.chains
         states = self._initial_states(evidence_indices, chains)
+        # Truly-impossible evidence keeps every redraw at joint probability
+        # zero; possible-but-unlucky starts are fixed by a redraw almost
+        # surely.  Valid first draws consume no extra RNG.
+        for _ in range(5):
+            if self._has_feasible_chain(states, chains):
+                break
+            states = self._initial_states(evidence_indices, chains)
+        else:
+            raise ImpossibleEvidenceError(
+                "every initial chain has zero probability under the clamped "
+                "evidence; the evidence is impossible under the model",
+                evidence=dict(evidence or {}))
         free = [node for node in self._order if node not in evidence_indices]
         kept: dict[str, list[np.ndarray]] = {node: [] for node in self._order}
         retained = 0

@@ -23,7 +23,7 @@ import numpy as np
 from repro.bayesnet.factor import DiscreteFactor, contract_factors
 from repro.bayesnet.inference._evidence_cache import EvidenceCache, evidence_key
 from repro.bayesnet.network import BayesianNetwork
-from repro.exceptions import InferenceError
+from repro.exceptions import ImpossibleEvidenceError, InferenceError
 
 Evidence = Mapping[str, str | int]
 
@@ -260,10 +260,14 @@ class JunctionTree:
             calibrated.append(belief)
 
         total = float(calibrated[root].values.sum())
-        if total <= 0:
+        if not np.isfinite(total):
             raise InferenceError(
+                f"non-finite calibration mass {total!r}; the network "
+                "contains corrupted (NaN/inf) CPD entries")
+        if total <= 0:
+            raise ImpossibleEvidenceError(
                 "evidence has zero probability under the model; "
-                "cannot calibrate the junction tree")
+                "cannot calibrate the junction tree", evidence=evidence)
         calibration = _Calibration(evidence, calibrated, total)
         self._calibrations.refresh()
         self._calibrations.put(evidence_key(self.network, evidence), calibration)

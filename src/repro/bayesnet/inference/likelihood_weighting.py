@@ -20,7 +20,7 @@ import numpy as np
 from repro.bayesnet.factor import DiscreteFactor
 from repro.bayesnet.network import BayesianNetwork
 from repro.bayesnet.sampling import CompiledSampler, state_to_index
-from repro.exceptions import InferenceError
+from repro.exceptions import ImpossibleEvidenceError, InferenceError
 from repro.utils.rng import ensure_rng
 
 Evidence = Mapping[str, str | int]
@@ -48,6 +48,28 @@ class LikelihoodWeighting(CompiledSampler):
         self.num_samples = int(num_samples)
         self._rng = ensure_rng(seed)
         self._topological_order = network.graph.topological_sort()
+        #: Effective sample size of the most recent query's weight population,
+        #: ``(sum w)^2 / sum w^2``; serving layers read it as a confidence
+        #: signal on degraded (sampled) posteriors.
+        self.last_effective_sample_size: float | None = None
+
+    def _finish_weights(self, weights: np.ndarray,
+                        evidence: Mapping) -> float:
+        """Validate the weight population and record its effective size."""
+        total_weight = float(weights.sum())
+        if not np.isfinite(total_weight):
+            raise InferenceError(
+                f"non-finite sample weights (sum {total_weight!r}); the "
+                "network contains corrupted (NaN/inf) CPD entries")
+        if total_weight <= 0:
+            self.last_effective_sample_size = 0.0
+            raise ImpossibleEvidenceError(
+                "all samples received zero weight; the evidence is (nearly) "
+                "impossible under the model or num_samples is too small",
+                evidence=dict(evidence))
+        self.last_effective_sample_size = float(
+            total_weight ** 2 / float((weights ** 2).sum()))
+        return total_weight
 
     def _state_index(self, variable: str, state: str | int) -> int:
         return state_to_index(self.network, variable, state)
@@ -92,11 +114,7 @@ class LikelihoodWeighting(CompiledSampler):
         cards = [self.network.cardinality(v) for v in variables]
         names = {v: self.network.state_names(v) for v in variables}
         states, weights = self._sample_batch(evidence_indices)
-        total_weight = float(weights.sum())
-        if total_weight <= 0:
-            raise InferenceError(
-                "all samples received zero weight; the evidence is (nearly) "
-                "impossible under the model or num_samples is too small")
+        total_weight = self._finish_weights(weights, evidence)
         flat = np.zeros(int(np.prod(cards)), dtype=float)
         indices = states[variables[0]]
         for variable, card in zip(variables[1:], cards[1:]):
@@ -124,11 +142,7 @@ class LikelihoodWeighting(CompiledSampler):
         evidence_indices = {variable: self._state_index(variable, state)
                             for variable, state in evidence.items()}
         states, weights = self._sample_batch(evidence_indices)
-        total_weight = float(weights.sum())
-        if total_weight <= 0:
-            raise InferenceError(
-                "all samples received zero weight; the evidence is (nearly) "
-                "impossible under the model or num_samples is too small")
+        total_weight = self._finish_weights(weights, evidence)
         result: dict[str, dict[str, float]] = {}
         for variable in variables:
             card = self.network.cardinality(variable)

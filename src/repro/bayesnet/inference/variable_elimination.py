@@ -18,11 +18,13 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.bayesnet.factor import DiscreteFactor, contract_factors
 from repro.bayesnet.inference._evidence_cache import EvidenceCache, evidence_key
 from repro.bayesnet.inference.elimination_order import min_fill_order
 from repro.bayesnet.network import BayesianNetwork
-from repro.exceptions import InferenceError
+from repro.exceptions import ImpossibleEvidenceError, InferenceError
 
 Evidence = Mapping[str, str | int]
 
@@ -143,10 +145,11 @@ class VariableElimination:
                                 if v != node]))
 
         result = contract_factors(working, keep=keep)
-        if float(result.values.sum()) <= 0.0:
-            raise InferenceError(
+        total = float(result.values.sum())
+        if not total > 0.0 or not np.isfinite(total):
+            raise ImpossibleEvidenceError(
                 "the evidence has zero probability under the model; "
-                "posteriors are undefined")
+                "posteriors are undefined", evidence=evidence)
         return result.normalize()
 
     # ------------------------------------------------------- all-marginal sweep
@@ -220,6 +223,10 @@ class VariableElimination:
         order, potentials, forward, parent, constant = self._forward_pass(evidence)
         count = len(order)
 
+        if not np.isfinite(constant):
+            raise InferenceError(
+                f"non-finite evidence probability {constant!r}; the network "
+                "contains corrupted (NaN/inf) CPD entries")
         if constant <= 0.0:
             return None, 0.0
 
@@ -253,9 +260,9 @@ class VariableElimination:
         self._validate([variable], evidence)
         marginals, _ = self._all_marginals(evidence)
         if marginals is None:
-            raise InferenceError(
+            raise ImpossibleEvidenceError(
                 "the evidence has zero probability under the model; "
-                "posteriors are undefined")
+                "posteriors are undefined", evidence=evidence)
         return marginals[variable].to_distribution()
 
     def posteriors(self, variables: Iterable[str],
@@ -266,9 +273,9 @@ class VariableElimination:
         self._validate(variables, evidence)
         marginals, _ = self._all_marginals(evidence)
         if marginals is None:
-            raise InferenceError(
+            raise ImpossibleEvidenceError(
                 "the evidence has zero probability under the model; "
-                "posteriors are undefined")
+                "posteriors are undefined", evidence=evidence)
         return {variable: marginals[variable].to_distribution()
                 for variable in variables}
 

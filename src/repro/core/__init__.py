@@ -23,8 +23,30 @@ from repro.core.blocks import BlockType, ModelVariable
 from repro.core.states import StateDefinition, StateTable, Discretizer
 from repro.core.circuit_model import CircuitModelDescription
 from repro.core.case_generation import Case, CaseGenerator
-from repro.core.model_builder import Dlog2BBN, BuiltModel
-from repro.core.diagnosis import DiagnosisEngine, DiagnosticCase, Diagnosis
+from repro.core.model_builder import (
+    Dlog2BBN,
+    BuiltModel,
+    validate_built_network,
+)
+from repro.core.diagnosis import (
+    AttemptRecord,
+    Diagnosis,
+    DiagnosisEngine,
+    DiagnosisFailure,
+    DiagnosisProvenance,
+    DiagnosticCase,
+)
+from repro.core.evidence import (
+    EvidenceIssue,
+    merge_case_evidence,
+    sanitize_evidence,
+    validate_evidence,
+)
+from repro.core.robust import (
+    FallbackExhaustedError,
+    FallbackPolicy,
+    RobustDiagnosisEngine,
+)
 from repro.core.report import DiagnosticReport, ReportColumn
 from repro.core.metrics import DiagnosisMetrics, rank_of_true_fault
 
@@ -39,9 +61,20 @@ __all__ = [
     "CaseGenerator",
     "Dlog2BBN",
     "BuiltModel",
+    "validate_built_network",
     "DiagnosisEngine",
     "DiagnosticCase",
     "Diagnosis",
+    "DiagnosisFailure",
+    "DiagnosisProvenance",
+    "AttemptRecord",
+    "EvidenceIssue",
+    "merge_case_evidence",
+    "sanitize_evidence",
+    "validate_evidence",
+    "RobustDiagnosisEngine",
+    "FallbackPolicy",
+    "FallbackExhaustedError",
     "DiagnosticReport",
     "ReportColumn",
     "DiagnosisMetrics",

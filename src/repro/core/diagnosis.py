@@ -15,9 +15,22 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Mapping, Sequence
 
-from repro.bayesnet.inference import JunctionTree, VariableElimination
+from repro.bayesnet.inference import (
+    GibbsSampling,
+    JunctionTree,
+    LikelihoodWeighting,
+    VariableElimination,
+)
+from repro.core.evidence import (
+    EvidenceIssue,
+    merge_case_evidence,
+    validate_evidence,
+)
 from repro.core.model_builder import BuiltModel
-from repro.exceptions import DiagnosisError
+from repro.exceptions import DiagnosisError, EvidenceError, ReproError
+
+#: Inference engines a DiagnosisEngine can run on, in decreasing exactness.
+ENGINE_NAMES = ("jt", "ve", "lw", "gibbs")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -42,12 +55,114 @@ class DiagnosticCase:
     expected_fail_blocks: tuple[str, ...] = ()
 
     def evidence(self) -> dict[str, str]:
-        """Return the combined evidence mapping."""
-        evidence = {variable: str(state)
-                    for variable, state in self.controllable_states.items()}
+        """Return the combined evidence mapping.
+
+        A variable appearing in both the controllable and the observable
+        section with different states is a contradiction in the source data
+        and raises :class:`~repro.exceptions.EvidenceError` naming every
+        conflicting block.
+        """
+        return merge_case_evidence(self.controllable_states,
+                                   self.observable_states)
+
+    def raw_evidence(self) -> dict[str, str]:
+        """Return the merged mapping without conflict checking (for logging)."""
+        merged = {variable: str(state)
+                  for variable, state in self.controllable_states.items()}
         for variable, state in self.observable_states.items():
-            evidence[variable] = str(state)
-        return evidence
+            merged[variable] = str(state)
+        return merged
+
+
+@dataclasses.dataclass(frozen=True)
+class AttemptRecord:
+    """One inference attempt made while serving a diagnosis.
+
+    Attributes
+    ----------
+    engine:
+        Engine name (``"jt"``, ``"ve"``, ``"lw"`` or ``"gibbs"``).
+    outcome:
+        ``"ok"``, ``"timeout"`` or ``"error"``.
+    elapsed:
+        Wall time of the attempt in seconds.
+    error:
+        ``"ExceptionType: message"`` for failed attempts, else ``None``.
+    """
+
+    engine: str
+    outcome: str
+    elapsed: float
+    error: str | None = None
+
+
+@dataclasses.dataclass
+class DiagnosisProvenance:
+    """How a diagnosis was produced — the serving layer's audit trail.
+
+    Attributes
+    ----------
+    engine:
+        The engine that produced the accepted posteriors.
+    attempts:
+        Every attempt made, in order, including failed ones.
+    wall_time:
+        Total serving wall time in seconds (all attempts plus overhead).
+    degraded:
+        True when the result did not come from the primary engine on the
+        first try (fallback, retry) or carries reduced-precision notes.
+    effective_sample_size:
+        Weight-population ESS for likelihood weighting, retained-sample
+        count for Gibbs, ``None`` for exact engines.
+    evidence_issues:
+        :class:`~repro.core.evidence.EvidenceIssue` records from evidence
+        sanitisation (empty for clean cases).
+    notes:
+        Human-readable degradation notes ("fell back to lw", "low ESS").
+    """
+
+    engine: str
+    attempts: tuple[AttemptRecord, ...] = ()
+    wall_time: float = 0.0
+    degraded: bool = False
+    effective_sample_size: float | None = None
+    evidence_issues: tuple = ()
+    notes: tuple[str, ...] = ()
+
+
+@dataclasses.dataclass
+class DiagnosisFailure:
+    """A per-case structured failure from ``diagnose_batch``.
+
+    Returned (``on_error="collect"``) instead of raising, so one poisoned
+    case cannot kill a population sweep.  Mirrors :class:`Diagnosis` enough
+    for uniform handling: ``case_name``, ``evidence`` and the ``ok``
+    discriminator.
+    """
+
+    case_name: str
+    evidence: dict[str, str]
+    error_type: str
+    message: str
+    attempts: tuple[AttemptRecord, ...] = ()
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    @classmethod
+    def from_exception(cls, case_name: str, evidence: Mapping[str, str],
+                       error: BaseException,
+                       attempts: tuple[AttemptRecord, ...] = (),
+                       wall_time: float = 0.0) -> "DiagnosisFailure":
+        return cls(case_name=case_name, evidence=dict(evidence),
+                   error_type=type(error).__name__, message=str(error),
+                   attempts=attempts, wall_time=wall_time)
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return (f"DiagnosisFailure({self.case_name!r}: "
+                f"{self.error_type}: {self.message})")
 
 
 @dataclasses.dataclass
@@ -72,6 +187,10 @@ class Diagnosis:
     ranked_candidates:
         Every internal variable ranked by fail probability (the naive
         ranking used as an ablation baseline).
+    provenance:
+        Optional serving metadata (engine used, attempts, degradation);
+        populated by the robust serving layer, ``None`` for direct
+        :class:`DiagnosisEngine` calls.
     """
 
     case_name: str
@@ -80,12 +199,22 @@ class Diagnosis:
     fail_probabilities: dict[str, float]
     suspects: list[str]
     ranked_candidates: list[tuple[str, float]]
+    provenance: DiagnosisProvenance | None = None
+
+    @property
+    def ok(self) -> bool:
+        return True
 
     def top_candidate(self) -> str:
         """Return the single most suspicious block."""
         if self.suspects:
             return self.suspects[0]
-        return self.ranked_candidates[0][0]
+        if self.ranked_candidates:
+            return self.ranked_candidates[0][0]
+        raise DiagnosisError(
+            f"diagnosis of case {self.case_name!r} has no candidates: both "
+            "the suspect list and the fail-probability ranking are empty "
+            "(the model has no internal variables)")
 
     def rank_of(self, block: str) -> int:
         """Return the 1-based rank of ``block`` in the fail-probability ranking."""
@@ -110,7 +239,15 @@ class DiagnosisEngine:
         The model produced by :class:`~repro.core.model_builder.Dlog2BBN`.
     inference:
         ``"ve"`` for variable elimination (default), ``"jt"`` for
-        junction-tree belief propagation (the Netica-style engine).
+        junction-tree belief propagation (the Netica-style engine),
+        ``"lw"`` for likelihood weighting or ``"gibbs"`` for Gibbs
+        sampling (the approximate engines the robust serving layer
+        degrades to).
+    num_samples:
+        Sample budget for the approximate engines (their own defaults when
+        omitted); ignored by the exact engines.
+    seed:
+        Seed for the approximate engines' samplers.
     abnormal_threshold:
         Fail probability above which an internal block counts as *abnormal*
         (clearly not in its healthy state).
@@ -121,7 +258,9 @@ class DiagnosisEngine:
 
     def __init__(self, built_model: BuiltModel, inference: str = "ve",
                  abnormal_threshold: float = 0.5,
-                 ambiguous_threshold: float = 0.4) -> None:
+                 ambiguous_threshold: float = 0.4, *,
+                 num_samples: int | None = None,
+                 seed: int | None = None) -> None:
         if not 0.0 < ambiguous_threshold <= abnormal_threshold <= 1.0:
             raise DiagnosisError(
                 "thresholds must satisfy 0 < ambiguous <= abnormal <= 1, got "
@@ -132,13 +271,23 @@ class DiagnosisEngine:
         self.healthy_states = built_model.healthy_states
         self.abnormal_threshold = float(abnormal_threshold)
         self.ambiguous_threshold = float(ambiguous_threshold)
+        self.inference_name = inference
+        sampler_options = {} if num_samples is None \
+            else {"num_samples": int(num_samples)}
         if inference == "ve":
             self._engine = VariableElimination(self.network)
         elif inference == "jt":
             self._engine = JunctionTree(self.network)
+        elif inference == "lw":
+            self._engine = LikelihoodWeighting(self.network, seed=seed,
+                                               **sampler_options)
+        elif inference == "gibbs":
+            self._engine = GibbsSampling(self.network, seed=seed,
+                                         **sampler_options)
         else:
             raise DiagnosisError(
-                f"unknown inference engine {inference!r}; use 've' or 'jt'")
+                f"unknown inference engine {inference!r}; "
+                f"use one of {ENGINE_NAMES}")
 
     # --------------------------------------------------------------- posteriors
     def initial_probabilities(self) -> dict[str, dict[str, float]]:
@@ -152,8 +301,7 @@ class DiagnosisEngine:
         (calibration / shared-bucket elimination) rather than one elimination
         per variable; evidence variables collapse onto their observed state.
         """
-        evidence = {variable: str(state) for variable, state in evidence.items()}
-        self.model.validate_against(evidence)
+        evidence = validate_evidence(self.model, evidence)
         free = [variable for variable in self.model.variable_names
                 if variable not in evidence]
         computed = self._engine.posteriors(free, evidence)
@@ -262,19 +410,32 @@ class DiagnosisEngine:
             ranked_candidates=self.rank_by_fail_probability(posteriors),
         )
 
+    def _case_from_evidence(self, evidence: Mapping[str, str],
+                            name: str) -> DiagnosticCase:
+        """Wrap a raw evidence mapping into a :class:`DiagnosticCase`.
+
+        Unknown variables are binned as observable so that evidence
+        validation reports them as structured ``unknown-variable`` issues
+        rather than this split raising first.
+        """
+        known = set(self.model.variable_names)
+        controllable = {variable: state for variable, state in evidence.items()
+                        if variable in known
+                        and self.model.variable(variable).is_controllable}
+        observable = {variable: state for variable, state in evidence.items()
+                      if variable not in controllable}
+        return DiagnosticCase(name=name, controllable_states=controllable,
+                              observable_states=observable)
+
     def diagnose_evidence(self, evidence: Mapping[str, str],
                           name: str = "adhoc") -> Diagnosis:
         """Diagnose from a raw evidence mapping (observable/controllable states)."""
-        controllable = {variable: state for variable, state in evidence.items()
-                        if self.model.variable(variable).is_controllable}
-        observable = {variable: state for variable, state in evidence.items()
-                      if variable not in controllable}
-        case = DiagnosticCase(name=name, controllable_states=controllable,
-                              observable_states=observable)
-        return self.diagnose(case)
+        return self.diagnose(self._case_from_evidence(evidence, name))
 
     def diagnose_batch(self, cases: Sequence[DiagnosticCase | Mapping[str, str]],
-                       names: Sequence[str] | None = None) -> list[Diagnosis]:
+                       names: Sequence[str] | None = None,
+                       on_error: str = "raise",
+                       ) -> list[Diagnosis | DiagnosisFailure]:
         """Diagnose a whole population of cases against one shared engine.
 
         Engine construction (network validation, junction-tree compilation)
@@ -293,19 +454,53 @@ class DiagnosisEngine:
         names:
             Optional case names, aligned with ``cases``; only used for raw
             evidence mappings (defaults to ``case-<i>``).
+        on_error:
+            Per-case failure isolation.  ``"raise"`` (default) propagates
+            the first failure, aborting the batch.  ``"skip"`` drops failed
+            cases from the result.  ``"collect"`` keeps batch order and
+            returns a structured :class:`DiagnosisFailure` in a failed
+            case's slot, so one poisoned case cannot kill a population
+            sweep.
         """
+        if on_error not in ("raise", "skip", "collect"):
+            raise DiagnosisError(
+                f"unknown on_error mode {on_error!r}; "
+                "use 'raise', 'skip' or 'collect'")
         cases = list(cases)
         if names is not None and len(names) != len(cases):
             raise DiagnosisError(
                 f"got {len(names)} names for {len(cases)} cases")
-        diagnoses: list[Diagnosis] = []
+        results: list[Diagnosis | DiagnosisFailure] = []
         for index, case in enumerate(cases):
-            if isinstance(case, DiagnosticCase):
-                diagnoses.append(self.diagnose(case))
-            else:
-                name = names[index] if names is not None else f"case-{index}"
-                diagnoses.append(self.diagnose_evidence(case, name=name))
-        return diagnoses
+            results.append(self._diagnose_one(case, index, names, on_error,
+                                              self.diagnose))
+        if on_error == "skip":
+            return [result for result in results if result is not None]
+        return results
+
+    def _diagnose_one(self, case, index, names, on_error, diagnose):
+        """Run one batch slot through ``diagnose`` under the isolation mode."""
+        if isinstance(case, DiagnosticCase):
+            name = case.name
+            raw = case.raw_evidence()
+        else:
+            name = names[index] if names is not None else f"case-{index}"
+            raw = {str(variable): str(state)
+                   for variable, state in case.items()}
+        try:
+            if not isinstance(case, DiagnosticCase):
+                case = self._case_from_evidence(case, name)
+            return diagnose(case)
+        except Exception as error:
+            if on_error == "raise":
+                raise
+            # Robust serving errors carry their attempt trail; plain engine
+            # errors default to an empty one.
+            failure = DiagnosisFailure.from_exception(
+                name, raw, error,
+                attempts=tuple(getattr(error, "attempts", ()) or ()),
+                wall_time=float(getattr(error, "wall_time", 0.0) or 0.0))
+            return failure if on_error == "collect" else None
 
     def diagnose_measurements(self, conditions: Mapping[str, float],
                               measurements: Mapping[str, float],
@@ -313,12 +508,26 @@ class DiagnosisEngine:
         """Diagnose from raw voltages: discretise, then diagnose.
 
         ``conditions`` are the forced controllable voltages, ``measurements``
-        the measured observable voltages of the failing device.
+        the measured observable voltages of the failing device.  Voltages
+        that cannot be discretised (unknown block, non-numeric or
+        out-of-range value under a strict discretiser) raise a structured
+        :class:`~repro.exceptions.EvidenceError` naming every bad entry.
         """
         discretizer = self.built_model.discretizer
         evidence: dict[str, str] = {}
-        for variable, value in conditions.items():
-            evidence[variable] = discretizer.classify(variable, float(value))
-        for variable, value in measurements.items():
-            evidence[variable] = discretizer.classify(variable, float(value))
+        issues: list[EvidenceIssue] = []
+        for section in (conditions, measurements):
+            for variable, value in section.items():
+                try:
+                    evidence[variable] = discretizer.classify(
+                        variable, float(value))
+                except (ReproError, TypeError, ValueError) as error:
+                    issues.append(EvidenceIssue(
+                        "bad-measurement", str(variable), str(value),
+                        f"cannot discretise: {error}"))
+        if issues:
+            raise EvidenceError(
+                f"measurements for case {name!r} have {len(issues)} "
+                "problem(s): " + "; ".join(str(issue) for issue in issues),
+                issues=tuple(issues))
         return self.diagnose_evidence(evidence, name=name)

@@ -65,6 +65,67 @@ class BuiltModel:
     training_case_count: int
 
 
+def validate_built_network(model: CircuitModelDescription,
+                           network: BayesianNetwork,
+                           context: str = "built network",
+                           atol: float = 1e-6) -> None:
+    """Validate a network's CPDs against the circuit-model description.
+
+    Learned parameters can silently go bad — an estimator dividing by a zero
+    count produces NaN columns, a hand-supplied prior can disagree with the
+    model's usable-state tables — and a bad table surfaces much later as a
+    nonsense posterior.  This check fails the build instead, collecting every
+    defect before raising one :class:`ModelBuildError`:
+
+    * a CPD exists for every model variable;
+    * its cardinality and state labels match the model's state table;
+    * its table has the declared shape, only finite non-negative entries,
+      and every parent-configuration column sums to 1 (within ``atol``).
+    """
+    issues: list[str] = []
+    for variable in model.variable_names:
+        try:
+            cpd = network.get_cpd(variable)
+        except Exception:
+            issues.append(f"{variable!r}: no CPD attached")
+            continue
+        table_def = model.state_table(variable)
+        if cpd.cardinality != table_def.cardinality:
+            issues.append(
+                f"{variable!r}: CPD cardinality {cpd.cardinality} != "
+                f"{table_def.cardinality} usable states")
+            continue
+        labels = list(cpd.state_names.get(variable, ()))
+        if labels != list(table_def.labels):
+            issues.append(
+                f"{variable!r}: CPD state labels {labels} != usable states "
+                f"{list(table_def.labels)}")
+        table = np.asarray(cpd.table, dtype=float)
+        columns = int(np.prod(cpd.parent_cardinalities)) \
+            if cpd.parent_cardinalities else 1
+        if table.shape != (cpd.cardinality, columns):
+            issues.append(
+                f"{variable!r}: CPD table shape {table.shape} != "
+                f"({cpd.cardinality}, {columns})")
+            continue
+        if not np.isfinite(table).all():
+            issues.append(f"{variable!r}: CPD table has NaN/inf entries")
+            continue
+        if (table < 0.0).any():
+            issues.append(f"{variable!r}: CPD table has negative entries")
+        sums = table.sum(axis=0)
+        bad = np.flatnonzero(np.abs(sums - 1.0) > atol)
+        if bad.size:
+            issues.append(
+                f"{variable!r}: {bad.size} parent-configuration column(s) "
+                f"not normalised (first: column {bad[0]} sums to "
+                f"{sums[bad[0]]:.6f})")
+    if issues:
+        raise ModelBuildError(
+            f"{context} failed validation ({len(issues)} issue(s)):\n  - "
+            + "\n  - ".join(issues))
+
+
 class Dlog2BBN:
     """Builds BBN circuit models from circuit descriptions and ATE cases.
 
@@ -219,8 +280,12 @@ class Dlog2BBN:
             else:
                 plain_cases.append(dict(case))
 
-        prior = prior_network.copy() if prior_network is not None \
-            else self.designer_prior_network()
+        if prior_network is not None:
+            validate_built_network(self.model, prior_network,
+                                   context="supplied prior network")
+            prior = prior_network.copy()
+        else:
+            prior = self.designer_prior_network()
         structure = self.build_structure()
         cardinalities = self.model.cardinalities()
         state_names = self.model.state_names()
@@ -245,6 +310,9 @@ class Dlog2BBN:
                 structure, cardinalities=cardinalities, state_names=state_names)
             network = learner.fit(plain_cases)
 
+        validate_built_network(self.model, network,
+                               context=f"network learned with {method!r}"
+                               if plain_cases else "designer prior network")
         return BuiltModel(description=self.model, network=network,
                           prior_network=prior,
                           discretizer=self.model.discretizer(),

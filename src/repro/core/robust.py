@@ -1,0 +1,339 @@
+"""Fault-tolerant diagnosis serving: fallback chain, deadlines, provenance.
+
+A production diagnosis service cannot afford one slow junction-tree
+calibration or one transient engine fault taking down a whole batch.  This
+module wraps :class:`~repro.core.diagnosis.DiagnosisEngine` with the
+graceful-degradation policy the related model-based-diagnosis literature
+motivates (Roos's efficient compiled diagnosis; Srinivas's hierarchical
+diagnosis — see PAPERS.md): keep answering, at reduced precision, scoped to
+what the evidence supports.
+
+The serving loop per case:
+
+1. **Evidence boundary** — strict :func:`~repro.core.evidence.validate_evidence`
+   or repair-and-continue :func:`~repro.core.evidence.sanitize_evidence`,
+   per :class:`FallbackPolicy.on_invalid_evidence`.
+2. **Fallback chain** — each engine in ``policy.chain`` (default
+   ``ve -> lw -> gibbs``) is attempted up to ``attempts_per_engine`` times
+   with exponential backoff, each attempt under an optional wall-clock
+   deadline.  Transient failures (timeouts, engine exceptions) degrade to
+   the next engine; *permanent* failures (malformed or zero-probability
+   evidence) abort the chain immediately — no sampler can fix evidence the
+   model assigns probability zero.
+3. **Provenance** — every returned :class:`~repro.core.diagnosis.Diagnosis`
+   carries a :class:`~repro.core.diagnosis.DiagnosisProvenance`: engine
+   used, every attempt record, wall time, ``degraded`` flag, effective
+   sample size for sampled posteriors, and the evidence issues that were
+   repaired.  Degraded results additionally emit a
+   :class:`~repro.exceptions.DegradedResultWarning`.
+
+Deadlines are enforced by running the attempt in a daemon worker thread and
+abandoning it on expiry (CPython cannot interrupt a running numpy kernel);
+an abandoned attempt keeps a core busy until it finishes, which is the
+accepted trade-off for bounded serving latency.  With ``deadline=None``
+(the default) attempts run inline with zero threading overhead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+import warnings
+from collections.abc import Mapping
+
+from repro.core.diagnosis import (
+    AttemptRecord,
+    Diagnosis,
+    DiagnosisEngine,
+    DiagnosisProvenance,
+    DiagnosticCase,
+    ENGINE_NAMES,
+)
+from repro.core.evidence import sanitize_evidence, validate_evidence
+from repro.core.model_builder import BuiltModel
+from repro.exceptions import (
+    DegradedResultWarning,
+    DiagnosisError,
+    EvidenceError,
+    ImpossibleEvidenceError,
+    InferenceTimeoutError,
+)
+
+#: Failure classes no retry or engine change can repair: the input itself is
+#: bad (malformed evidence) or contradicts the model (zero probability).
+PERMANENT_FAILURES = (EvidenceError, ImpossibleEvidenceError)
+
+
+class FallbackExhaustedError(DiagnosisError):
+    """Every engine of the fallback chain failed for one case.
+
+    Carries the full attempt trail so batch isolation can surface *how* the
+    case failed, not just that it did.
+    """
+
+    def __init__(self, message: str,
+                 attempts: tuple[AttemptRecord, ...] = (),
+                 wall_time: float = 0.0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.wall_time = wall_time
+
+
+@dataclasses.dataclass(frozen=True)
+class FallbackPolicy:
+    """Configuration of the robust serving loop.
+
+    Attributes
+    ----------
+    chain:
+        Engine names tried in order; the first is the primary.  Exact
+        engines (``"jt"``, ``"ve"``) should precede the approximate ones
+        (``"lw"``, ``"gibbs"``) so precision only ever degrades.
+    deadline:
+        Per-attempt wall-clock budget in seconds; ``None`` disables
+        deadline enforcement (and its worker-thread overhead) entirely.
+    attempts_per_engine:
+        How often each engine is retried before degrading to the next.
+    backoff:
+        Base sleep in seconds between retries of the same engine, doubled
+        per retry (``backoff * 2**retry_index``).  Zero disables sleeping.
+    num_samples:
+        Sample budget handed to the approximate fallback engines (their
+        own defaults when ``None``).
+    seed:
+        Sampler seed for the approximate fallback engines, so degraded
+        serving stays reproducible.
+    min_effective_sample_size:
+        Sampled posteriors whose effective sample size falls below this
+        are still returned but flagged with a low-ESS degradation note.
+    on_invalid_evidence:
+        ``"raise"`` (strict: malformed evidence is a permanent structured
+        failure) or ``"sanitize"`` (repair what is repairable, drop the
+        rest, and record every issue in the provenance).
+    """
+
+    chain: tuple[str, ...] = ("ve", "lw", "gibbs")
+    deadline: float | None = None
+    attempts_per_engine: int = 1
+    backoff: float = 0.0
+    num_samples: int | None = None
+    seed: int | None = 0
+    min_effective_sample_size: float = 50.0
+    on_invalid_evidence: str = "raise"
+
+    def __post_init__(self) -> None:
+        if not self.chain:
+            raise DiagnosisError("fallback chain must name at least one engine")
+        unknown = [name for name in self.chain if name not in ENGINE_NAMES]
+        if unknown:
+            raise DiagnosisError(
+                f"unknown engines in fallback chain: {unknown}; "
+                f"use names from {ENGINE_NAMES}")
+        if len(set(self.chain)) != len(self.chain):
+            raise DiagnosisError(f"fallback chain repeats engines: {self.chain}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise DiagnosisError(f"deadline must be positive, got {self.deadline}")
+        if self.attempts_per_engine < 1:
+            raise DiagnosisError("attempts_per_engine must be at least 1")
+        if self.backoff < 0:
+            raise DiagnosisError(f"backoff must be >= 0, got {self.backoff}")
+        if self.on_invalid_evidence not in ("raise", "sanitize"):
+            raise DiagnosisError(
+                f"unknown on_invalid_evidence mode {self.on_invalid_evidence!r}; "
+                "use 'raise' or 'sanitize'")
+
+
+class RobustDiagnosisEngine(DiagnosisEngine):
+    """A :class:`DiagnosisEngine` that degrades instead of dying.
+
+    Drop-in replacement: every :class:`DiagnosisEngine` entry point works,
+    ``diagnose`` runs the fallback chain, and results carry provenance.
+
+    Parameters
+    ----------
+    built_model:
+        The model produced by :class:`~repro.core.model_builder.Dlog2BBN`.
+    policy:
+        The :class:`FallbackPolicy`; the default runs ``ve -> lw -> gibbs``
+        with no deadline and strict evidence validation.
+    abnormal_threshold / ambiguous_threshold:
+        Candidate-deduction thresholds, as on :class:`DiagnosisEngine`.
+    """
+
+    def __init__(self, built_model: BuiltModel,
+                 policy: FallbackPolicy | None = None,
+                 abnormal_threshold: float = 0.5,
+                 ambiguous_threshold: float = 0.4) -> None:
+        self.policy = policy or FallbackPolicy()
+        super().__init__(built_model, inference=self.policy.chain[0],
+                         abnormal_threshold=abnormal_threshold,
+                         ambiguous_threshold=ambiguous_threshold,
+                         num_samples=self.policy.num_samples,
+                         seed=self.policy.seed)
+        # The primary engine is the one the superclass already built; the
+        # fallback engines are constructed lazily on first degradation so a
+        # healthy serving path never pays for them.
+        self._fallback_engines: dict[str, DiagnosisEngine] = {
+            self.policy.chain[0]: self}
+
+    # ------------------------------------------------------------- sub-engines
+    def _engine_for(self, name: str) -> DiagnosisEngine:
+        engine = self._fallback_engines.get(name)
+        if engine is None:
+            engine = DiagnosisEngine(
+                self.built_model, inference=name,
+                abnormal_threshold=self.abnormal_threshold,
+                ambiguous_threshold=self.ambiguous_threshold,
+                num_samples=self.policy.num_samples,
+                seed=self.policy.seed)
+            self._fallback_engines[name] = engine
+        return engine
+
+    # ---------------------------------------------------------------- deadline
+    def _attempt(self, engine_name: str,
+                 evidence: Mapping[str, str]) -> dict[str, dict[str, float]]:
+        """Run one posterior update, under the policy deadline if set."""
+        engine = self._engine_for(engine_name)
+        deadline = self.policy.deadline
+        if deadline is None:
+            return DiagnosisEngine.update(engine, evidence)
+
+        outcome: dict[str, object] = {}
+
+        def worker() -> None:
+            try:
+                outcome["value"] = DiagnosisEngine.update(engine, evidence)
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                outcome["error"] = error
+
+        thread = threading.Thread(target=worker, daemon=True,
+                                  name=f"diagnosis-{engine_name}")
+        thread.start()
+        thread.join(deadline)
+        if thread.is_alive():
+            raise InferenceTimeoutError(
+                f"engine {engine_name!r} exceeded the {deadline}s deadline",
+                engine=engine_name, deadline=deadline)
+        if "error" in outcome:
+            raise outcome["error"]  # type: ignore[misc]
+        return outcome["value"]  # type: ignore[return-value]
+
+    # --------------------------------------------------------------- diagnosis
+    def diagnose(self, case: DiagnosticCase) -> Diagnosis:
+        """Diagnose one case through the fallback chain, with provenance."""
+        start = time.perf_counter()
+        attempts: list[AttemptRecord] = []
+        notes: list[str] = []
+
+        evidence, issues = self._evidence_boundary(case)
+        dropped = [issue for issue in issues if issue.kind != "repaired-state"]
+        if issues:
+            notes.append(
+                f"evidence sanitised: {len(issues)} issue(s), "
+                f"{len(dropped)} entry(ies) dropped")
+
+        policy = self.policy
+        last_error: BaseException | None = None
+        for position, engine_name in enumerate(policy.chain):
+            for retry in range(policy.attempts_per_engine):
+                if retry and policy.backoff > 0:
+                    time.sleep(policy.backoff * (2 ** (retry - 1)))
+                attempt_start = time.perf_counter()
+                try:
+                    posteriors = self._attempt(engine_name, evidence)
+                except PERMANENT_FAILURES as error:
+                    attempts.append(AttemptRecord(
+                        engine_name, "error",
+                        time.perf_counter() - attempt_start,
+                        f"{type(error).__name__}: {error}"))
+                    error.attempts = tuple(attempts)
+                    error.wall_time = time.perf_counter() - start
+                    raise
+                except Exception as error:  # noqa: BLE001 - degrades below
+                    outcome = "timeout" if isinstance(
+                        error, InferenceTimeoutError) else "error"
+                    attempts.append(AttemptRecord(
+                        engine_name, outcome,
+                        time.perf_counter() - attempt_start,
+                        f"{type(error).__name__}: {error}"))
+                    last_error = error
+                    continue
+                attempts.append(AttemptRecord(
+                    engine_name, "ok", time.perf_counter() - attempt_start))
+                return self._accept(case, evidence, posteriors, engine_name,
+                                    position, tuple(attempts), tuple(issues),
+                                    notes, start)
+            notes.append(
+                f"engine {engine_name!r} exhausted "
+                f"{policy.attempts_per_engine} attempt(s)")
+
+        error = FallbackExhaustedError(
+            f"all {len(policy.chain)} engine(s) of the fallback chain failed "
+            f"for case {case.name!r}; last error: "
+            f"{type(last_error).__name__}: {last_error}",
+            attempts=tuple(attempts),
+            wall_time=time.perf_counter() - start)
+        raise error from last_error
+
+    def _evidence_boundary(self, case: DiagnosticCase):
+        """Apply the policy's evidence mode; returns ``(evidence, issues)``."""
+        if self.policy.on_invalid_evidence == "raise":
+            return validate_evidence(self.model, case.evidence()), ()
+        issues: list = []
+        try:
+            merged = case.evidence()
+        except EvidenceError as error:
+            # Conflicting controllable/observable entries: neither side can
+            # be trusted, so the conflicting blocks are dropped entirely.
+            conflicting = {issue.variable for issue in error.issues}
+            merged = {variable: state
+                      for variable, state in case.raw_evidence().items()
+                      if variable not in conflicting}
+            issues.extend(error.issues)
+        clean, sanitize_issues = sanitize_evidence(self.model, merged)
+        issues.extend(sanitize_issues)
+        return clean, tuple(issues)
+
+    def _accept(self, case: DiagnosticCase, evidence: dict[str, str],
+                posteriors: dict[str, dict[str, float]], engine_name: str,
+                chain_position: int, attempts: tuple[AttemptRecord, ...],
+                issues: tuple, notes: list[str], start: float) -> Diagnosis:
+        """Build the final Diagnosis + provenance from accepted posteriors."""
+        ess = self._effective_sample_size(engine_name)
+        if ess is not None and ess < self.policy.min_effective_sample_size:
+            notes.append(
+                f"low effective sample size ({ess:.1f} < "
+                f"{self.policy.min_effective_sample_size:g})")
+        if chain_position > 0:
+            notes.append(
+                f"degraded from {self.policy.chain[0]!r} to {engine_name!r}")
+        failed_attempts = len(attempts) - 1
+        degraded = bool(chain_position > 0 or failed_attempts > 0 or notes)
+        provenance = DiagnosisProvenance(
+            engine=engine_name, attempts=attempts,
+            wall_time=time.perf_counter() - start, degraded=degraded,
+            effective_sample_size=ess, evidence_issues=issues,
+            notes=tuple(notes))
+        if degraded:
+            warnings.warn(
+                f"case {case.name!r} served degraded by {engine_name!r}: "
+                + "; ".join(notes), DegradedResultWarning, stacklevel=3)
+        fail = {variable: self.fail_probability(variable, posteriors)
+                for variable in self.model.internal_variables}
+        return Diagnosis(
+            case_name=case.name, evidence=evidence, posteriors=posteriors,
+            fail_probabilities=fail,
+            suspects=self.deduce_candidates(posteriors),
+            ranked_candidates=self.rank_by_fail_probability(posteriors),
+            provenance=provenance)
+
+    def _effective_sample_size(self, engine_name: str) -> float | None:
+        """Confidence signal of a sampled posterior; None for exact engines."""
+        engine = self._engine_for(engine_name)._engine
+        ess = getattr(engine, "last_effective_sample_size", None)
+        if ess is not None:
+            return float(ess)
+        if engine_name == "gibbs":
+            return float(engine.num_samples)
+        return None

@@ -34,6 +34,37 @@ class InferenceError(ReproError):
     """An inference query cannot be answered (unknown variable, bad evidence)."""
 
 
+class ImpossibleEvidenceError(InferenceError):
+    """The entered evidence has zero probability under the model.
+
+    Raised by every inference engine instead of emitting NaN posteriors: the
+    exact engines detect a zero (or non-finite) normalisation constant, the
+    samplers detect an all-zero weight/conditional population.  The evidence
+    itself is well-formed — it just contradicts the model — so retrying or
+    degrading to another engine cannot help; serving layers should surface
+    this as a permanent, per-case failure.
+    """
+
+    def __init__(self, message: str, evidence: dict | None = None) -> None:
+        super().__init__(message)
+        self.evidence = dict(evidence) if evidence else {}
+
+
+class InferenceTimeoutError(InferenceError):
+    """An inference query exceeded its deadline.
+
+    Raised by the robust serving layer when an engine attempt does not finish
+    within the configured per-query deadline; carries enough context for the
+    fallback chain to log which engine stalled.
+    """
+
+    def __init__(self, message: str, engine: str | None = None,
+                 deadline: float | None = None) -> None:
+        super().__init__(message)
+        self.engine = engine
+        self.deadline = deadline
+
+
 class LearningError(ReproError):
     """Parameter or structure learning received unusable data."""
 
@@ -68,3 +99,28 @@ class CaseGenerationError(ModelBuildError):
 
 class DiagnosisError(ReproError):
     """A diagnostic query is invalid (unknown blocks, missing evidence)."""
+
+
+class EvidenceError(DiagnosisError):
+    """An evidence mapping is malformed.
+
+    Covers unknown model variables, illegal state labels and conflicting
+    controllable/observable entries.  ``issues`` holds one structured
+    :class:`~repro.core.evidence.EvidenceIssue`-like record per problem so a
+    serving layer can report every defect of a case at once instead of
+    failing on the first.
+    """
+
+    def __init__(self, message: str, issues: tuple = ()) -> None:
+        super().__init__(message)
+        self.issues = tuple(issues)
+
+
+class DegradedResultWarning(UserWarning):
+    """A diagnosis was produced in degraded mode.
+
+    Emitted (via :mod:`warnings`) when the robust serving layer fell back
+    from an exact engine to an approximate one, retried after transient
+    failures, or produced a posterior with a low effective sample size.  The
+    result is still usable — the warning flags the reduced precision.
+    """

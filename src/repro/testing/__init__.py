@@ -1,0 +1,20 @@
+"""Testing utilities for the repro stack.
+
+:mod:`repro.testing.chaos` is the fault-injection harness used by the
+robustness test suite to prove the serving layer's fallback chain and
+partial-batch isolation under injected failures.
+"""
+
+from repro.testing.chaos import (
+    ChaosError,
+    FaultInjector,
+    corrupt_cpd_table,
+    truncated_evidence,
+)
+
+__all__ = [
+    "ChaosError",
+    "FaultInjector",
+    "corrupt_cpd_table",
+    "truncated_evidence",
+]

@@ -1,0 +1,202 @@
+"""Fault injection for robustness testing.
+
+Production failure modes — a transient engine crash, a stalled calibration,
+a CPT corrupted by a bad parameter update, an ATE export that lost half its
+columns — are hard to reproduce organically on a 19-node reference model.
+:class:`FaultInjector` manufactures them deterministically so the test
+suite can prove the serving layer degrades instead of dying:
+
+* **raise-on-nth-call** — an injected exception on the nth (and optionally
+  every following) call of any method, for transient- and permanent-fault
+  scenarios;
+* **artificial latency** — a sleep prepended to any method, for deadline /
+  timeout scenarios;
+* **corrupted CPD** — NaN, negative or unnormalised entries written into a
+  network's live CPT (with cache-invalidating replacement semantics, so
+  engines cannot serve stale-but-clean cached posteriors);
+* **truncated evidence** — a deterministic subset of an evidence mapping,
+  for partial-datalog scenarios.
+
+All injections made through one :class:`FaultInjector` are reverted on
+context exit (or :meth:`FaultInjector.restore`), in reverse order, so test
+isolation survives even assertion failures mid-scenario.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.bayesnet.network import BayesianNetwork
+from repro.exceptions import ReproError
+
+#: Modes understood by :func:`corrupt_cpd_table`.
+CPD_CORRUPTION_MODES = ("nan", "negative", "unnormalized", "zero-row")
+
+
+class ChaosError(ReproError):
+    """The default injected failure.
+
+    Deriving from :class:`ReproError` keeps injected faults inside the
+    library's exception taxonomy (a serving layer that catches ``Exception``
+    would mask nothing), while the distinct type lets assertions tell an
+    injected fault from a genuine one.
+    """
+
+
+def truncated_evidence(evidence: Mapping[str, str], keep: int,
+                       ) -> dict[str, str]:
+    """Return the first ``keep`` entries of ``evidence`` (insertion order).
+
+    Models a truncated datalog: the tester stopped writing mid-record.  The
+    result is well-formed but under-determined — diagnosis should still
+    answer, scoped to the evidence that survived.
+    """
+    if keep < 0:
+        raise ValueError(f"keep must be >= 0, got {keep}")
+    truncated: dict[str, str] = {}
+    for variable, state in evidence.items():
+        if len(truncated) >= keep:
+            break
+        truncated[variable] = str(state)
+    return truncated
+
+
+def corrupt_cpd_table(network: BayesianNetwork, variable: str,
+                      mode: str = "nan") -> None:
+    """Replace ``variable``'s CPD on ``network`` with a corrupted copy.
+
+    Uses ``add_cpd`` replacement (not in-place mutation) so the engines'
+    id-based cache signatures see a parameter update and drop their cached
+    factors/calibrations — the corruption is guaranteed to reach the next
+    inference sweep.  Modes:
+
+    ``"nan"``
+        The whole first row becomes NaN (a failed parameter update); a full
+        row, so the poison survives evidence reduction on the parents and is
+        seen under every parent configuration.
+    ``"negative"``
+        First entry becomes negative, column re-normalised mass preserved
+        at 1.0 (a sign bug upstream).
+    ``"unnormalized"``
+        Every column scaled by 1.7 (lost normalisation pass).
+    ``"zero-row"``
+        Entire table zeroed (a truncated weight file).
+    """
+    if mode not in CPD_CORRUPTION_MODES:
+        raise ValueError(
+            f"unknown corruption mode {mode!r}; use one of {CPD_CORRUPTION_MODES}")
+    corrupted = network.get_cpd(variable).copy()
+    table = corrupted.table
+    if mode == "nan":
+        table[0, :] = np.nan
+    elif mode == "negative":
+        table[0, 0] = -abs(table[0, 0]) - 0.1
+        table[1:, 0] = (1.0 - table[0, 0]) / max(table.shape[0] - 1, 1)
+    elif mode == "unnormalized":
+        table *= 1.7
+    else:  # zero-row
+        table[:, :] = 0.0
+    network.add_cpd(corrupted)
+
+
+class FaultInjector:
+    """Deterministic failure hooks with guaranteed teardown.
+
+    Use as a context manager::
+
+        with FaultInjector() as chaos:
+            chaos.raise_on_call(engine._engine, "posteriors", nth=1)
+            ...  # exercise the fallback chain
+
+    Every injection is reverted on exit, latest first.
+    """
+
+    def __init__(self) -> None:
+        self._restores: list = []
+        self.call_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------- lifecycle
+    def __enter__(self) -> "FaultInjector":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.restore()
+
+    def restore(self) -> None:
+        """Revert every injection, in reverse order of installation."""
+        while self._restores:
+            self._restores.pop()()
+
+    def _patch(self, target: object, method: str, wrapper) -> None:
+        """Install ``wrapper`` over ``target.method``, remembering the undo."""
+        had_own = method in vars(target) if not isinstance(target, type) \
+            else method in target.__dict__
+        original = getattr(target, method)
+
+        def undo(target=target, method=method, had_own=had_own,
+                 original=original) -> None:
+            if had_own or isinstance(target, type):
+                setattr(target, method, original)
+            else:
+                delattr(target, method)
+
+        setattr(target, method, wrapper)
+        self._restores.append(undo)
+
+    # ------------------------------------------------------------ injections
+    def raise_on_call(self, target: object, method: str,
+                      error: BaseException | None = None,
+                      nth: int = 1, transient: bool = False) -> None:
+        """Make ``target.method`` raise on its ``nth`` call (1-based).
+
+        With ``transient=True`` only the ``nth`` call raises and every other
+        call passes through — the retry-once-and-recover scenario.  Without
+        it, the ``nth`` and all later calls raise — the hard-down scenario.
+        ``error`` defaults to a :class:`ChaosError`; per-call counts are
+        recorded in :attr:`call_counts` under ``"Type.method"``.
+        """
+        if nth < 1:
+            raise ValueError(f"nth must be >= 1, got {nth}")
+        injected = error or ChaosError(
+            f"injected failure in {type(target).__name__}.{method}")
+        original = getattr(target, method)
+        key = f"{type(target).__name__}.{method}"
+        counter = {"calls": 0}
+
+        def wrapper(*args, **kwargs):
+            counter["calls"] += 1
+            self.call_counts[key] = counter["calls"]
+            hit = counter["calls"] == nth if transient \
+                else counter["calls"] >= nth
+            if hit:
+                raise injected
+            return original(*args, **kwargs)
+
+        self._patch(target, method, wrapper)
+
+    def add_latency(self, target: object, method: str,
+                    seconds: float) -> None:
+        """Prepend a ``seconds`` sleep to every call of ``target.method``.
+
+        The stalled-calibration scenario: the call still succeeds, just too
+        late for its deadline.
+        """
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        original = getattr(target, method)
+
+        def wrapper(*args, **kwargs):
+            time.sleep(seconds)
+            return original(*args, **kwargs)
+
+        self._patch(target, method, wrapper)
+
+    def corrupt_cpd(self, network: BayesianNetwork, variable: str,
+                    mode: str = "nan") -> None:
+        """Corrupt ``variable``'s CPT on ``network``; restored on exit."""
+        original = network.get_cpd(variable)
+        corrupt_cpd_table(network, variable, mode)
+        self._restores.append(lambda: network.add_cpd(original))

@@ -151,3 +151,75 @@ class TestPriorBuilders:
         with pytest.raises(ModelBuildError):
             SimulationPriorBuilder(regulator_circuit.netlist,
                                    regulator_circuit.model, condition_sets=[])
+
+
+class TestBuildTimeValidation:
+    """`Dlog2BBN.build` refuses corrupt parameters instead of shipping them."""
+
+    def test_clean_builds_pass(self, regulator_circuit, regulator_prior):
+        from repro.core import validate_built_network
+        builder = Dlog2BBN(regulator_circuit.model,
+                           regulator_circuit.healthy_states)
+        built = builder.build([], prior_network=regulator_prior)
+        validate_built_network(regulator_circuit.model, built.network)
+
+    def test_nan_prior_rejected(self, regulator_circuit, regulator_prior):
+        poisoned = regulator_prior.copy()
+        cpd = poisoned.get_cpd("reg1").copy()
+        cpd.table[0, 0] = np.nan
+        poisoned.add_cpd(cpd)
+        builder = Dlog2BBN(regulator_circuit.model,
+                           regulator_circuit.healthy_states)
+        with pytest.raises(ModelBuildError, match="NaN/inf"):
+            builder.build([], prior_network=poisoned)
+
+    def test_unnormalised_prior_rejected(self, regulator_circuit,
+                                         regulator_prior):
+        poisoned = regulator_prior.copy()
+        cpd = poisoned.get_cpd("reg2").copy()
+        cpd.table *= 1.7
+        poisoned.add_cpd(cpd)
+        builder = Dlog2BBN(regulator_circuit.model,
+                           regulator_circuit.healthy_states)
+        with pytest.raises(ModelBuildError, match="not normalised"):
+            builder.build([], prior_network=poisoned)
+
+    def test_negative_prior_rejected(self, regulator_circuit, regulator_prior):
+        poisoned = regulator_prior.copy()
+        cpd = poisoned.get_cpd("reg3").copy()
+        # Negative mass in one state, compensated to keep the column sum at
+        # 1.0 — only the sign check can catch this.
+        removed = cpd.table[0, 0] + 0.1
+        cpd.table[0, 0] = -0.1
+        cpd.table[1, 0] += removed
+        poisoned.add_cpd(cpd)
+        builder = Dlog2BBN(regulator_circuit.model,
+                           regulator_circuit.healthy_states)
+        with pytest.raises(ModelBuildError, match="negative"):
+            builder.build([], prior_network=poisoned)
+
+    def test_wrong_state_labels_rejected(self, regulator_circuit):
+        from repro.core import validate_built_network
+        builder = Dlog2BBN(regulator_circuit.model,
+                           regulator_circuit.healthy_states)
+        network = builder.designer_prior_network()
+        cpd = network.get_cpd("hcbg").copy()
+        cpd.state_names = {**cpd.state_names, "hcbg": ["lo", "hi"]}
+        network.add_cpd(cpd)
+        with pytest.raises(ModelBuildError, match="state labels"):
+            validate_built_network(regulator_circuit.model, network)
+
+    def test_all_defects_collected(self, regulator_circuit, regulator_prior):
+        from repro.core import validate_built_network
+        poisoned = regulator_prior.copy()
+        for variable, factor in (("reg1", np.nan), ("reg2", 1.7)):
+            cpd = poisoned.get_cpd(variable).copy()
+            if variable == "reg1":
+                cpd.table[0, 0] = np.nan
+            else:
+                cpd.table *= factor
+            poisoned.add_cpd(cpd)
+        with pytest.raises(ModelBuildError, match="2 issue") as info:
+            validate_built_network(regulator_circuit.model, poisoned)
+        message = str(info.value)
+        assert "reg1" in message and "reg2" in message

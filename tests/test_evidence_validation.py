@@ -1,0 +1,160 @@
+"""Evidence validation, sanitisation and zero-probability structured errors."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bayesnet.inference import (
+    GibbsSampling,
+    JunctionTree,
+    LikelihoodWeighting,
+    VariableElimination,
+)
+from repro.core import DiagnosticCase
+from repro.core.evidence import (
+    merge_case_evidence,
+    sanitize_evidence,
+    validate_evidence,
+)
+from repro.exceptions import EvidenceError, ImpossibleEvidenceError
+
+#: Deterministically impossible evidence for the sprinkler network:
+#: P(wet=1 | sprinkler=0, rain=0) is exactly 0.
+IMPOSSIBLE = {"sprinkler": "0", "rain": "0", "wet": "1"}
+
+
+class TestValidateEvidence:
+    def test_clean_evidence_normalised(self, regulator_circuit):
+        evidence = validate_evidence(regulator_circuit.model,
+                                     {"reg1": 0, "vp1": "2"})
+        assert evidence == {"reg1": "0", "vp1": "2"}
+
+    def test_unknown_variable_collected(self, regulator_circuit):
+        with pytest.raises(EvidenceError) as info:
+            validate_evidence(regulator_circuit.model, {"bogus": "0"})
+        (issue,) = info.value.issues
+        assert issue.kind == "unknown-variable"
+        assert issue.variable == "bogus"
+
+    def test_unknown_state_collected(self, regulator_circuit):
+        with pytest.raises(EvidenceError) as info:
+            validate_evidence(regulator_circuit.model, {"reg1": "99"})
+        (issue,) = info.value.issues
+        assert issue.kind == "unknown-state"
+        assert "99" in issue.detail or issue.state == "99"
+
+    def test_all_defects_reported_at_once(self, regulator_circuit):
+        with pytest.raises(EvidenceError) as info:
+            validate_evidence(regulator_circuit.model,
+                              {"bogus": "0", "reg1": "99", "vp1": "2"})
+        kinds = sorted(issue.kind for issue in info.value.issues)
+        assert kinds == ["unknown-state", "unknown-variable"]
+
+
+class TestSanitizeEvidence:
+    def test_clean_evidence_untouched(self, regulator_circuit):
+        clean, issues = sanitize_evidence(regulator_circuit.model,
+                                          {"reg1": "0", "vp1": "2"})
+        assert clean == {"reg1": "0", "vp1": "2"}
+        assert issues == ()
+
+    def test_unknown_variable_dropped(self, regulator_circuit):
+        clean, issues = sanitize_evidence(regulator_circuit.model,
+                                          {"bogus": "0", "vp1": "2"})
+        assert clean == {"vp1": "2"}
+        assert [issue.kind for issue in issues] == ["unknown-variable"]
+
+    def test_whitespace_and_index_repaired(self, regulator_circuit):
+        reg1_labels = regulator_circuit.model.state_table("reg1").labels
+        clean, issues = sanitize_evidence(
+            regulator_circuit.model, {"vp1": " 2 ", "reg1": 0})
+        assert clean["vp1"] == "2"
+        assert clean["reg1"] == reg1_labels[0]
+        assert all(issue.kind == "repaired-state" for issue in issues)
+
+    def test_hopeless_state_dropped(self, regulator_circuit):
+        clean, issues = sanitize_evidence(regulator_circuit.model,
+                                          {"vp1": "not-a-state"})
+        assert clean == {}
+        assert [issue.kind for issue in issues] == ["unknown-state"]
+
+
+class TestConflictingEntries:
+    def test_merge_conflict_raises(self):
+        with pytest.raises(EvidenceError) as info:
+            merge_case_evidence({"vp1": "2"}, {"vp1": "0"})
+        (issue,) = info.value.issues
+        assert issue.kind == "conflicting-entry"
+        assert issue.variable == "vp1"
+
+    def test_agreeing_duplicate_merges(self):
+        assert merge_case_evidence({"vp1": "2"}, {"vp1": "2"}) == {"vp1": "2"}
+
+    def test_case_evidence_detects_conflict(self):
+        case = DiagnosticCase(name="poisoned",
+                              controllable_states={"vp1": "2"},
+                              observable_states={"vp1": "0"})
+        with pytest.raises(EvidenceError):
+            case.evidence()
+        # The unchecked accessor still works for logging.
+        assert case.raw_evidence() == {"vp1": "0"}
+
+
+def _assert_no_nan(posteriors: dict) -> None:
+    for distribution in posteriors.values():
+        for probability in distribution.values():
+            assert math.isfinite(probability)
+
+
+class TestZeroProbabilityEvidence:
+    """All four engines refuse impossible evidence with a structured error."""
+
+    def test_variable_elimination(self, sprinkler_network):
+        engine = VariableElimination(sprinkler_network)
+        with pytest.raises(ImpossibleEvidenceError) as info:
+            engine.posteriors(["cloudy"], IMPOSSIBLE)
+        assert info.value.evidence == IMPOSSIBLE
+        with pytest.raises(ImpossibleEvidenceError):
+            engine.posterior("cloudy", IMPOSSIBLE)
+        with pytest.raises(ImpossibleEvidenceError):
+            engine.query(["cloudy"], IMPOSSIBLE)
+
+    def test_junction_tree(self, sprinkler_network):
+        engine = JunctionTree(sprinkler_network)
+        with pytest.raises(ImpossibleEvidenceError) as info:
+            engine.posteriors(["cloudy"], IMPOSSIBLE)
+        assert info.value.evidence == IMPOSSIBLE
+
+    def test_likelihood_weighting(self, sprinkler_network):
+        engine = LikelihoodWeighting(sprinkler_network, num_samples=500, seed=0)
+        with pytest.raises(ImpossibleEvidenceError):
+            engine.posteriors(["cloudy"], IMPOSSIBLE)
+        assert engine.last_effective_sample_size == 0.0
+
+    def test_gibbs(self, sprinkler_network):
+        engine = GibbsSampling(sprinkler_network, num_samples=100,
+                               burn_in=10, seed=0)
+        with pytest.raises(ImpossibleEvidenceError):
+            engine.posteriors(["cloudy"], IMPOSSIBLE)
+
+    def test_possible_evidence_still_clean(self, sprinkler_network):
+        """The zero-probability guards do not fire on valid evidence."""
+        evidence = {"sprinkler": "0", "rain": "1", "wet": "1"}
+        for engine in (VariableElimination(sprinkler_network),
+                       JunctionTree(sprinkler_network),
+                       LikelihoodWeighting(sprinkler_network,
+                                           num_samples=2000, seed=1),
+                       GibbsSampling(sprinkler_network, num_samples=200,
+                                     burn_in=20, seed=1)):
+            posteriors = engine.posteriors(["cloudy"], evidence)
+            _assert_no_nan(posteriors)
+            total = sum(posteriors["cloudy"].values())
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_lw_effective_sample_size_tracked(self, sprinkler_network):
+        engine = LikelihoodWeighting(sprinkler_network, num_samples=1000, seed=0)
+        engine.posteriors(["cloudy"], {"wet": "1"})
+        ess = engine.last_effective_sample_size
+        assert ess is not None and 0 < ess <= 1000
