@@ -1,0 +1,146 @@
+"""Diagnosis-service throughput — worker scaling and healthy-path overhead.
+
+The worker-pool service exists to push customer-return populations through
+``diagnose_batch`` faster than one process can, without giving back its
+robustness guarantees on the healthy path.  This benchmark measures
+devices/second at 1, 2 and (when the machine has them) N workers against
+the bare single-process engine on the same distinct-evidence workload, and
+asserts the two service promises:
+
+* healthy-path overhead: a 1-worker service stays within 10% of the bare
+  engine (plus absolute slack for IPC/scheduler jitter), and
+* scaling: 2 workers reach at least 1.8x the 1-worker throughput — only
+  asserted when at least 2 CPUs are actually available (the paired
+  measurement is meaningless on a single core; it is always printed).
+
+Every engine runs with ``evidence_cache_size=1``: the population's cases
+are distinct, and a deeper LRU would make repeat timing rounds
+cache-warm and the paired comparison unfair.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core import DiagnosisEngine, Dlog2BBN, FallbackPolicy
+from repro.serving import DiagnosisService, ServiceConfig
+
+#: Timing rounds per configuration; min-of-rounds is the noise floor.
+ROUNDS = 3
+#: Cases pushed through every configuration.
+WORKLOAD = 200
+#: Relative healthy-path overhead budget of a 1-worker service.
+OVERHEAD_BUDGET = 0.10
+#: Absolute slack for IPC and scheduler jitter on top of the budget.
+ABSOLUTE_SLACK_S = 0.25
+#: Required speedup of 2 workers over 1 (asserted on multi-core hosts).
+MIN_SPEEDUP_2W = 1.8
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _min_runtime(target) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        target()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _workload(regulator_circuit, failed_population):
+    """Distinct-evidence cases: one per device/condition, capped."""
+    builder = Dlog2BBN(regulator_circuit.model,
+                       regulator_circuit.healthy_states)
+    labeled = builder.case_generator().cases_from_results(
+        failed_population.results)
+    evidence = [case.observed() for case in labeled][:WORKLOAD]
+    names = [f"bench-{index:04d}" for index in range(len(evidence))]
+    return evidence, names
+
+
+def _service_floor(built_model, policy, workers, evidence, names) -> float:
+    config = ServiceConfig(num_workers=workers, chunk_size=16)
+    with DiagnosisService(built_model, policy, config) as service:
+        floor = _min_runtime(
+            lambda: service.diagnose_batch(evidence, names=names,
+                                           timeout=600))
+        # correctness ride-along: nothing lost, nothing failed
+        results = service.diagnose_batch(evidence, names=names, timeout=600)
+        assert len(results) == len(evidence)
+        assert all(result.ok for result in results)
+        stats = service.stats()
+        assert stats.queue_depth == 0 and stats.in_flight == 0
+        assert stats.workers_alive == workers
+    return floor
+
+
+def test_bench_serving_throughput(benchmark, built_model, regulator_circuit,
+                                  failed_population):
+    evidence, names = _workload(regulator_circuit, failed_population)
+    policy = FallbackPolicy(evidence_cache_size=1)
+    bare = DiagnosisEngine(built_model, cache_size=1)
+
+    # The timed kernel: the full workload through a 2-worker service.
+    config = ServiceConfig(num_workers=2, chunk_size=16)
+    with DiagnosisService(built_model, policy, config) as service:
+        served = benchmark(service.diagnose_batch, evidence, names=names,
+                           timeout=600)
+
+    # Slot-for-slot parity with the bare engine on the same workload.
+    reference = bare.diagnose_batch(evidence, names=names,
+                                    on_error="collect")
+    assert [r.case_name for r in served] == [r.case_name for r in reference]
+    for ours, theirs in zip(served, reference):
+        assert ours.ok == theirs.ok
+        if ours.ok:
+            assert ours.ranked_candidates[0][0] == \
+                theirs.ranked_candidates[0][0]
+
+    # Paired floors: bare engine vs 1/2/N workers, all equally cold.
+    cpus = _available_cpus()
+    bare_floor = _min_runtime(
+        lambda: bare.diagnose_batch(evidence, names=names,
+                                    on_error="collect"))
+    floors = {1: _service_floor(built_model, policy, 1, evidence, names),
+              2: _service_floor(built_model, policy, 2, evidence, names)}
+    if cpus > 2:
+        floors[cpus] = _service_floor(built_model, policy, cpus, evidence,
+                                      names)
+
+    n = len(evidence)
+    print()
+    print(f"Diagnosis-service throughput ({n} distinct cases, "
+          f"{cpus} CPU(s) available):")
+    print(f"  bare DiagnosisEngine   min of {ROUNDS}: {bare_floor:.3f}s "
+          f"({n / bare_floor:7.1f} devices/s)")
+    for workers, floor in sorted(floors.items()):
+        print(f"  service, {workers} worker(s)  min of {ROUNDS}: "
+              f"{floor:.3f}s ({n / floor:7.1f} devices/s, "
+              f"{floors[1] / floor:.2f}x vs 1 worker)")
+
+    # Promise 1: the pool's healthy-path overhead is bounded.
+    overhead_budget = bare_floor * (1.0 + OVERHEAD_BUDGET) + ABSOLUTE_SLACK_S
+    print(f"  1-worker overhead: "
+          f"{(floors[1] / bare_floor - 1.0) * 100.0:+.1f}% "
+          f"(budget {OVERHEAD_BUDGET * 100.0:.0f}% + "
+          f"{ABSOLUTE_SLACK_S * 1e3:.0f}ms)")
+    assert floors[1] <= overhead_budget, (
+        f"1-worker service took {floors[1]:.3f}s against a budget of "
+        f"{overhead_budget:.3f}s (bare: {bare_floor:.3f}s)")
+
+    # Promise 2: adding a worker buys real throughput — multi-core only.
+    speedup = floors[1] / floors[2]
+    if cpus >= 2:
+        assert speedup >= MIN_SPEEDUP_2W, (
+            f"2 workers reached only {speedup:.2f}x over 1 worker "
+            f"(required {MIN_SPEEDUP_2W}x on {cpus} CPUs)")
+    else:
+        print(f"  [single CPU: {MIN_SPEEDUP_2W}x scaling assertion skipped, "
+              f"measured {speedup:.2f}x]")

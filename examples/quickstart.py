@@ -3,9 +3,12 @@
 Builds the industrial multiple-output voltage regulator, derives the designer
 prior from behavioural simulation, fine-tunes the CPTs on a synthetic
 70-failed-device population (the stand-in for the paper's customer returns)
-and diagnoses the five Table VI case studies.  A final section shows the
-batched population pipeline at production scale: thousands of devices
-simulated, tested and converted to learning cases per second.
+and diagnoses the five Table VI case studies.  The closing sections show
+the production path: the batched population pipeline (thousands of devices
+simulated, tested and converted to learning cases per second), the robust
+engine on noisy records, and the supervised worker-pool service that
+shards a population across processes with crash isolation, deadlines and
+backpressure.
 
 Run with::
 
@@ -28,6 +31,7 @@ from repro.core import (
 from repro.core.behavioral_prior import SimulationPriorBuilder
 from repro.core.paper_cases import PAPER_DIAGNOSTIC_CASES, PAPER_EXPECTED_SUSPECTS
 from repro.core.report import case_summary_table
+from repro.serving import DiagnosisService, ServiceConfig
 
 
 def main() -> None:
@@ -122,6 +126,37 @@ def main() -> None:
         else:
             print(f"  {result.case_name}: FAILED ({result.error_type}) "
                   f"{result.message.splitlines()[0]}")
+
+    # 8. Serving a population: the worker-pool service shards a batch
+    #    across supervised worker processes (each hosting its own robust
+    #    engine).  Worker crashes are isolated and retried, per-request
+    #    deadlines propagate into every inference attempt, a bounded queue
+    #    applies backpressure, and `stats()` exposes a structured health
+    #    snapshot.  Use it whenever one process is not enough — or when it
+    #    must not be trusted to stay alive.
+    population_evidence = [case.observed() for case in big_cases[:200]]
+    service_policy = FallbackPolicy(chain=("ve", "lw"), num_samples=2000,
+                                    seed=0, on_invalid_evidence="sanitize")
+    config = ServiceConfig(num_workers=2, chunk_size=16,
+                           max_pending_cases=10_000,
+                           overload_policy="block")
+    print()
+    start = time.perf_counter()
+    with DiagnosisService(built, service_policy, config) as service:
+        served = service.diagnose_batch(population_evidence,
+                                        deadline=120.0, timeout=300.0)
+        stats = service.stats()
+    elapsed = time.perf_counter() - start
+    succeeded = sum(1 for result in served if result.ok)
+    print(f"Diagnosis service: {len(served)} devices on "
+          f"{stats.workers} workers in {elapsed:.2f}s "
+          f"({len(served) / elapsed:,.0f} devices/s): "
+          f"{succeeded} diagnosed, {len(served) - succeeded} structured "
+          f"failures, {stats.respawns} respawns, {stats.shed} shed.")
+    print(f"  chunk latency p50={stats.chunk_latency_p50 * 1e3:.1f}ms "
+          f"p99={stats.chunk_latency_p99 * 1e3:.1f}ms; "
+          f"queue={stats.queue_depth}, in-flight={stats.in_flight} "
+          f"after drain.")
 
 
 if __name__ == "__main__":

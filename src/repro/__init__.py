@@ -86,8 +86,9 @@ from repro.core import (
     StateTable,
 )
 from repro.bayesnet import BayesianNetwork, TabularCPD
+from repro.serving import DiagnosisService, ServiceConfig, ServiceStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BlockType",
@@ -106,5 +107,8 @@ __all__ = [
     "StateTable",
     "BayesianNetwork",
     "TabularCPD",
+    "DiagnosisService",
+    "ServiceConfig",
+    "ServiceStats",
     "__version__",
 ]

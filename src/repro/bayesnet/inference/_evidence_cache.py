@@ -24,6 +24,39 @@ from repro.exceptions import InferenceError
 #: Number of evidence signatures whose sweeps/calibrations are kept cached.
 DEFAULT_CACHE_SIZE = 128
 
+#: Environment variable overriding the default cache capacity process-wide —
+#: the per-worker memory knob for serving fleets that host one engine per
+#: process.
+CACHE_SIZE_ENV_VAR = "REPRO_EVIDENCE_CACHE_SIZE"
+
+
+def resolve_cache_size(explicit: int | None = None) -> int:
+    """Return the evidence-cache capacity to use.
+
+    Precedence: an ``explicit`` constructor argument, then the
+    ``REPRO_EVIDENCE_CACHE_SIZE`` environment variable, then
+    :data:`DEFAULT_CACHE_SIZE`.  The capacity must be a positive integer.
+    """
+    import os
+
+    value = explicit
+    if value is None:
+        raw = os.environ.get(CACHE_SIZE_ENV_VAR)
+        if raw is not None:
+            try:
+                value = int(raw)
+            except ValueError:
+                raise InferenceError(
+                    f"{CACHE_SIZE_ENV_VAR} must be an integer, "
+                    f"got {raw!r}") from None
+    if value is None:
+        return DEFAULT_CACHE_SIZE
+    value = int(value)
+    if value < 1:
+        raise InferenceError(
+            f"evidence cache capacity must be >= 1, got {value}")
+    return value
+
 
 def evidence_key(network: BayesianNetwork,
                  evidence: Mapping[str, str | int]) -> tuple:

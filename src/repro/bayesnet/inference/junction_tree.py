@@ -21,7 +21,11 @@ from collections.abc import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.bayesnet.factor import DiscreteFactor, contract_factors
-from repro.bayesnet.inference._evidence_cache import EvidenceCache, evidence_key
+from repro.bayesnet.inference._evidence_cache import (
+    EvidenceCache,
+    evidence_key,
+    resolve_cache_size,
+)
 from repro.bayesnet.network import BayesianNetwork
 from repro.exceptions import ImpossibleEvidenceError, InferenceError
 
@@ -70,7 +74,8 @@ class JunctionTree:
         query-many behaviour.
     """
 
-    def __init__(self, network: BayesianNetwork) -> None:
+    def __init__(self, network: BayesianNetwork, *,
+                 cache_size: int | None = None) -> None:
         network.check_model()
         self.network = network
         self._cardinalities = {node: network.cardinality(node)
@@ -85,7 +90,7 @@ class JunctionTree:
                       key=lambda i: len(self._cliques[i].variables))
             for node in network.nodes}
         self.calibration_count = 0
-        self._calibrations = EvidenceCache(network)
+        self._calibrations = EvidenceCache(network, resolve_cache_size(cache_size))
         self._current: _Calibration | None = None
 
     # ------------------------------------------------------------ construction

@@ -21,7 +21,11 @@ from collections.abc import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.bayesnet.factor import DiscreteFactor, contract_factors
-from repro.bayesnet.inference._evidence_cache import EvidenceCache, evidence_key
+from repro.bayesnet.inference._evidence_cache import (
+    EvidenceCache,
+    evidence_key,
+    resolve_cache_size,
+)
 from repro.bayesnet.inference.elimination_order import min_fill_order
 from repro.bayesnet.network import BayesianNetwork
 from repro.exceptions import ImpossibleEvidenceError, InferenceError
@@ -49,13 +53,15 @@ class VariableElimination:
         behaviour.
     """
 
-    def __init__(self, network: BayesianNetwork, elimination_order=None) -> None:
+    def __init__(self, network: BayesianNetwork, elimination_order=None, *,
+                 cache_size: int | None = None) -> None:
         network.check_model()
         self.network = network
         self._order_heuristic = elimination_order or min_fill_order
         self.sweep_count = 0
-        self._marginal_cache = EvidenceCache(network)
-        self._probability_cache = EvidenceCache(network)
+        capacity = resolve_cache_size(cache_size)
+        self._marginal_cache = EvidenceCache(network, capacity)
+        self._probability_cache = EvidenceCache(network, capacity)
         # Elimination orders depend only on the (immutable) structure, so one
         # entry per free-variable set never goes stale; the base factor list
         # tracks CPD replacement through the evidence-cache refresh.

@@ -33,6 +33,41 @@ from repro.exceptions import DiagnosisError, EvidenceError, ReproError
 ENGINE_NAMES = ("jt", "ve", "lw", "gibbs")
 
 
+def chunk_slices(total: int, chunk_size: int) -> list[slice]:
+    """Split ``total`` batch slots into contiguous slices of ``chunk_size``.
+
+    The shared chunking rule for every sharded batch entry point (the
+    worker-pool service, future async APIs): deterministic, order-preserving
+    and exhaustive, so per-slot accounting survives resharding.
+    """
+    if chunk_size < 1:
+        raise DiagnosisError(f"chunk_size must be >= 1, got {chunk_size}")
+    if total < 0:
+        raise DiagnosisError(f"total must be >= 0, got {total}")
+    return [slice(start, min(start + chunk_size, total))
+            for start in range(0, total, chunk_size)]
+
+
+def case_from_evidence(model, evidence: Mapping[str, str],
+                       name: str) -> "DiagnosticCase":
+    """Wrap a raw evidence mapping into a :class:`DiagnosticCase`.
+
+    Splits entries into controllable/observable by the model's variable
+    roles.  Unknown variables are binned as observable so that evidence
+    validation reports them as structured ``unknown-variable`` issues
+    rather than this split raising first.  Module-level so serving layers
+    can normalise cases before shipping them to worker processes.
+    """
+    known = set(model.variable_names)
+    controllable = {variable: state for variable, state in evidence.items()
+                    if variable in known
+                    and model.variable(variable).is_controllable}
+    observable = {variable: state for variable, state in evidence.items()
+                  if variable not in controllable}
+    return DiagnosticCase(name=name, controllable_states=controllable,
+                          observable_states=observable)
+
+
 @dataclasses.dataclass(frozen=True)
 class DiagnosticCase:
     """One diagnostic query: the observed condition of a failing device.
@@ -95,6 +130,11 @@ class AttemptRecord:
     elapsed: float
     error: str | None = None
 
+    def to_dict(self) -> dict:
+        """Return a JSON-safe dict (service responses, structured logs)."""
+        return {"engine": self.engine, "outcome": self.outcome,
+                "elapsed": float(self.elapsed), "error": self.error}
+
 
 @dataclasses.dataclass
 class DiagnosisProvenance:
@@ -128,6 +168,21 @@ class DiagnosisProvenance:
     effective_sample_size: float | None = None
     evidence_issues: tuple = ()
     notes: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        """Return a JSON-safe dict (service responses, structured logs)."""
+        return {
+            "engine": self.engine,
+            "attempts": [attempt.to_dict() for attempt in self.attempts],
+            "wall_time": float(self.wall_time),
+            "degraded": bool(self.degraded),
+            "effective_sample_size":
+                None if self.effective_sample_size is None
+                else float(self.effective_sample_size),
+            "evidence_issues": [dataclasses.asdict(issue)
+                                for issue in self.evidence_issues],
+            "notes": list(self.notes),
+        }
 
 
 @dataclasses.dataclass
@@ -163,6 +218,19 @@ class DiagnosisFailure:
     def __str__(self) -> str:  # pragma: no cover - formatting aid
         return (f"DiagnosisFailure({self.case_name!r}: "
                 f"{self.error_type}: {self.message})")
+
+    def to_dict(self) -> dict:
+        """Return a JSON-safe dict (service responses, structured logs)."""
+        return {
+            "ok": False,
+            "case_name": self.case_name,
+            "evidence": {str(variable): str(state)
+                         for variable, state in self.evidence.items()},
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": [attempt.to_dict() for attempt in self.attempts],
+            "wall_time": float(self.wall_time),
+        }
 
 
 @dataclasses.dataclass
@@ -204,6 +272,32 @@ class Diagnosis:
     @property
     def ok(self) -> bool:
         return True
+
+    def to_dict(self) -> dict:
+        """Return a JSON-safe dict (service responses, structured logs).
+
+        Every value is a plain str/float/bool/list/dict so the result
+        round-trips through ``json.dumps`` without a custom encoder.
+        """
+        return {
+            "ok": True,
+            "case_name": self.case_name,
+            "evidence": {str(variable): str(state)
+                         for variable, state in self.evidence.items()},
+            "posteriors": {
+                variable: {state: float(probability)
+                           for state, probability in distribution.items()}
+                for variable, distribution in self.posteriors.items()},
+            "fail_probabilities": {
+                variable: float(probability)
+                for variable, probability in self.fail_probabilities.items()},
+            "suspects": list(self.suspects),
+            "ranked_candidates": [[candidate, float(probability)]
+                                  for candidate, probability
+                                  in self.ranked_candidates],
+            "provenance":
+                None if self.provenance is None else self.provenance.to_dict(),
+        }
 
     def top_candidate(self) -> str:
         """Return the single most suspicious block."""
@@ -248,6 +342,11 @@ class DiagnosisEngine:
         omitted); ignored by the exact engines.
     seed:
         Seed for the approximate engines' samplers.
+    cache_size:
+        Evidence-cache capacity for the exact engines (entries per cache);
+        defaults to the ``REPRO_EVIDENCE_CACHE_SIZE`` environment variable
+        or 128.  The per-engine (and therefore per-serving-worker) memory
+        knob; ignored by the samplers.
     abnormal_threshold:
         Fail probability above which an internal block counts as *abnormal*
         (clearly not in its healthy state).
@@ -260,7 +359,8 @@ class DiagnosisEngine:
                  abnormal_threshold: float = 0.5,
                  ambiguous_threshold: float = 0.4, *,
                  num_samples: int | None = None,
-                 seed: int | None = None) -> None:
+                 seed: int | None = None,
+                 cache_size: int | None = None) -> None:
         if not 0.0 < ambiguous_threshold <= abnormal_threshold <= 1.0:
             raise DiagnosisError(
                 "thresholds must satisfy 0 < ambiguous <= abnormal <= 1, got "
@@ -275,9 +375,10 @@ class DiagnosisEngine:
         sampler_options = {} if num_samples is None \
             else {"num_samples": int(num_samples)}
         if inference == "ve":
-            self._engine = VariableElimination(self.network)
+            self._engine = VariableElimination(self.network,
+                                               cache_size=cache_size)
         elif inference == "jt":
-            self._engine = JunctionTree(self.network)
+            self._engine = JunctionTree(self.network, cache_size=cache_size)
         elif inference == "lw":
             self._engine = LikelihoodWeighting(self.network, seed=seed,
                                                **sampler_options)
@@ -412,20 +513,8 @@ class DiagnosisEngine:
 
     def _case_from_evidence(self, evidence: Mapping[str, str],
                             name: str) -> DiagnosticCase:
-        """Wrap a raw evidence mapping into a :class:`DiagnosticCase`.
-
-        Unknown variables are binned as observable so that evidence
-        validation reports them as structured ``unknown-variable`` issues
-        rather than this split raising first.
-        """
-        known = set(self.model.variable_names)
-        controllable = {variable: state for variable, state in evidence.items()
-                        if variable in known
-                        and self.model.variable(variable).is_controllable}
-        observable = {variable: state for variable, state in evidence.items()
-                      if variable not in controllable}
-        return DiagnosticCase(name=name, controllable_states=controllable,
-                              observable_states=observable)
+        """Wrap a raw evidence mapping into a :class:`DiagnosticCase`."""
+        return case_from_evidence(self.model, evidence, name)
 
     def diagnose_evidence(self, evidence: Mapping[str, str],
                           name: str = "adhoc") -> Diagnosis:
@@ -435,6 +524,7 @@ class DiagnosisEngine:
     def diagnose_batch(self, cases: Sequence[DiagnosticCase | Mapping[str, str]],
                        names: Sequence[str] | None = None,
                        on_error: str = "raise",
+                       deadline: float | None = None,
                        ) -> list[Diagnosis | DiagnosisFailure]:
         """Diagnose a whole population of cases against one shared engine.
 
@@ -461,6 +551,12 @@ class DiagnosisEngine:
             returns a structured :class:`DiagnosisFailure` in a failed
             case's slot, so one poisoned case cannot kill a population
             sweep.
+        deadline:
+            Optional total wall-clock budget in seconds shared by the whole
+            batch; cases reached after the budget expires fail with a
+            :class:`~repro.exceptions.DeadlineExceededError` (handled per
+            ``on_error``).  Requires a deadline-capable engine
+            (:class:`~repro.core.robust.RobustDiagnosisEngine`).
         """
         if on_error not in ("raise", "skip", "collect"):
             raise DiagnosisError(
@@ -470,13 +566,22 @@ class DiagnosisEngine:
         if names is not None and len(names) != len(cases):
             raise DiagnosisError(
                 f"got {len(names)} names for {len(cases)} cases")
+        diagnose = self.diagnose if deadline is None \
+            else self._deadline_diagnose(deadline)
         results: list[Diagnosis | DiagnosisFailure] = []
         for index, case in enumerate(cases):
             results.append(self._diagnose_one(case, index, names, on_error,
-                                              self.diagnose))
+                                              diagnose))
         if on_error == "skip":
             return [result for result in results if result is not None]
         return results
+
+    def _deadline_diagnose(self, deadline: float):
+        """Return a per-case diagnose callable sharing a batch deadline."""
+        raise DiagnosisError(
+            f"{type(self).__name__} does not enforce batch deadlines; use "
+            "repro.core.robust.RobustDiagnosisEngine for deadline-bounded "
+            "batches")
 
     def _diagnose_one(self, case, index, names, on_error, diagnose):
         """Run one batch slot through ``diagnose`` under the isolation mode."""

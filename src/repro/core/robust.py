@@ -53,6 +53,7 @@ from repro.core.diagnosis import (
 from repro.core.evidence import sanitize_evidence, validate_evidence
 from repro.core.model_builder import BuiltModel
 from repro.exceptions import (
+    DeadlineExceededError,
     DegradedResultWarning,
     DiagnosisError,
     EvidenceError,
@@ -111,6 +112,11 @@ class FallbackPolicy:
         ``"raise"`` (strict: malformed evidence is a permanent structured
         failure) or ``"sanitize"`` (repair what is repairable, drop the
         rest, and record every issue in the provenance).
+    evidence_cache_size:
+        Capacity of the exact engines' evidence caches (entries per cache);
+        the per-worker memory knob for serving fleets.  ``None`` defers to
+        the ``REPRO_EVIDENCE_CACHE_SIZE`` environment variable / the
+        library default (128).
     """
 
     chain: tuple[str, ...] = ("ve", "lw", "gibbs")
@@ -121,6 +127,7 @@ class FallbackPolicy:
     seed: int | None = 0
     min_effective_sample_size: float = 50.0
     on_invalid_evidence: str = "raise"
+    evidence_cache_size: int | None = None
 
     def __post_init__(self) -> None:
         if not self.chain:
@@ -142,6 +149,11 @@ class FallbackPolicy:
             raise DiagnosisError(
                 f"unknown on_invalid_evidence mode {self.on_invalid_evidence!r}; "
                 "use 'raise' or 'sanitize'")
+        if self.evidence_cache_size is not None \
+                and self.evidence_cache_size < 1:
+            raise DiagnosisError(
+                "evidence_cache_size must be >= 1, got "
+                f"{self.evidence_cache_size}")
 
 
 class RobustDiagnosisEngine(DiagnosisEngine):
@@ -170,7 +182,8 @@ class RobustDiagnosisEngine(DiagnosisEngine):
                          abnormal_threshold=abnormal_threshold,
                          ambiguous_threshold=ambiguous_threshold,
                          num_samples=self.policy.num_samples,
-                         seed=self.policy.seed)
+                         seed=self.policy.seed,
+                         cache_size=self.policy.evidence_cache_size)
         # The primary engine is the one the superclass already built; the
         # fallback engines are constructed lazily on first degradation so a
         # healthy serving path never pays for them.
@@ -186,18 +199,30 @@ class RobustDiagnosisEngine(DiagnosisEngine):
                 abnormal_threshold=self.abnormal_threshold,
                 ambiguous_threshold=self.ambiguous_threshold,
                 num_samples=self.policy.num_samples,
-                seed=self.policy.seed)
+                seed=self.policy.seed,
+                cache_size=self.policy.evidence_cache_size)
             self._fallback_engines[name] = engine
         return engine
 
     # ---------------------------------------------------------------- deadline
-    def _attempt(self, engine_name: str,
-                 evidence: Mapping[str, str]) -> dict[str, dict[str, float]]:
-        """Run one posterior update, under the policy deadline if set."""
+    def _attempt(self, engine_name: str, evidence: Mapping[str, str],
+                 remaining: float | None = None,
+                 ) -> dict[str, dict[str, float]]:
+        """Run one posterior update, under the effective attempt deadline.
+
+        The effective deadline is the tighter of the policy's per-attempt
+        ``deadline`` and the caller's ``remaining`` wall-clock budget — the
+        path by which a service-level request deadline clamps every attempt
+        below it.
+        """
         engine = self._engine_for(engine_name)
         deadline = self.policy.deadline
+        if remaining is not None:
+            deadline = remaining if deadline is None \
+                else min(deadline, remaining)
         if deadline is None:
             return DiagnosisEngine.update(engine, evidence)
+        deadline = max(deadline, 1e-6)
 
         outcome: dict[str, object] = {}
 
@@ -220,11 +245,30 @@ class RobustDiagnosisEngine(DiagnosisEngine):
         return outcome["value"]  # type: ignore[return-value]
 
     # --------------------------------------------------------------- diagnosis
-    def diagnose(self, case: DiagnosticCase) -> Diagnosis:
-        """Diagnose one case through the fallback chain, with provenance."""
+    def diagnose(self, case: DiagnosticCase,
+                 deadline: float | None = None) -> Diagnosis:
+        """Diagnose one case through the fallback chain, with provenance.
+
+        ``deadline`` is an optional *total* wall-clock budget in seconds for
+        this call (the per-request deadline a serving layer propagates
+        down).  It clamps every attempt's deadline, bounds backoff sleeps,
+        and — once spent — aborts the chain with a
+        :class:`~repro.exceptions.DeadlineExceededError` instead of trying
+        further engines.  ``None`` keeps the policy's per-attempt behaviour
+        only.
+        """
         start = time.perf_counter()
         attempts: list[AttemptRecord] = []
         notes: list[str] = []
+        budget_end = None if deadline is None else start + deadline
+
+        def remaining() -> float | None:
+            return None if budget_end is None \
+                else budget_end - time.perf_counter()
+
+        if deadline is not None and deadline <= 0:
+            raise self._deadline_exceeded(case, deadline, deadline,
+                                          tuple(attempts), start, None)
 
         evidence, issues = self._evidence_boundary(case)
         dropped = [issue for issue in issues if issue.kind != "repaired-state"]
@@ -238,10 +282,23 @@ class RobustDiagnosisEngine(DiagnosisEngine):
         for position, engine_name in enumerate(policy.chain):
             for retry in range(policy.attempts_per_engine):
                 if retry and policy.backoff > 0:
-                    time.sleep(policy.backoff * (2 ** (retry - 1)))
+                    # A backoff longer than the remaining budget would turn
+                    # the deadline into dead sleep: clamp, then let the
+                    # budget check below fire.
+                    sleep = policy.backoff * (2 ** (retry - 1))
+                    left = remaining()
+                    if left is not None:
+                        sleep = min(sleep, max(left, 0.0))
+                    if sleep > 0:
+                        time.sleep(sleep)
+                left = remaining()
+                if left is not None and left <= 0:
+                    raise self._deadline_exceeded(
+                        case, deadline, left, tuple(attempts), start,
+                        last_error)
                 attempt_start = time.perf_counter()
                 try:
-                    posteriors = self._attempt(engine_name, evidence)
+                    posteriors = self._attempt(engine_name, evidence, left)
                 except PERMANENT_FAILURES as error:
                     attempts.append(AttemptRecord(
                         engine_name, "error",
@@ -275,6 +332,39 @@ class RobustDiagnosisEngine(DiagnosisEngine):
             attempts=tuple(attempts),
             wall_time=time.perf_counter() - start)
         raise error from last_error
+
+    def _deadline_exceeded(self, case: DiagnosticCase,
+                           deadline: float | None, left: float | None,
+                           attempts: tuple[AttemptRecord, ...], start: float,
+                           last_error: BaseException | None,
+                           ) -> DeadlineExceededError:
+        """Build the budget-exhausted error, with the attempt trail attached."""
+        error = DeadlineExceededError(
+            f"deadline budget of {deadline:g}s exhausted for case "
+            f"{case.name!r} after {len(attempts)} attempt(s)",
+            remaining=left, deadline=deadline)
+        error.attempts = attempts
+        error.wall_time = time.perf_counter() - start
+        if last_error is not None:
+            error.__cause__ = last_error
+        return error
+
+    def _deadline_diagnose(self, deadline: float):
+        """Per-case diagnose callable sharing one batch wall-clock budget.
+
+        Used by :meth:`DiagnosisEngine.diagnose_batch` (and by each serving
+        worker for its chunk): the budget drains monotonically, so cases
+        reached after expiry fail fast with
+        :class:`~repro.exceptions.DeadlineExceededError` rather than
+        starting doomed inference sweeps.
+        """
+        budget_end = time.perf_counter() + max(deadline, 0.0)
+
+        def diagnose(case: DiagnosticCase) -> Diagnosis:
+            return self.diagnose(
+                case, deadline=budget_end - time.perf_counter())
+
+        return diagnose
 
     def _evidence_boundary(self, case: DiagnosticCase):
         """Apply the policy's evidence mode; returns ``(evidence, issues)``."""

@@ -65,6 +65,60 @@ class InferenceTimeoutError(InferenceError):
         self.deadline = deadline
 
 
+class DeadlineExceededError(InferenceTimeoutError):
+    """A total wall-clock budget ran out before a diagnosis completed.
+
+    Distinct from a plain :class:`InferenceTimeoutError` (one *attempt*
+    overran its per-attempt deadline): here the whole per-case or
+    per-request budget is spent, so the fallback chain must stop rather
+    than degrade further.  ``remaining`` records the budget left when the
+    check fired (zero or negative).
+    """
+
+    def __init__(self, message: str, remaining: float | None = None,
+                 deadline: float | None = None) -> None:
+        super().__init__(message, deadline=deadline)
+        self.remaining = remaining
+
+
+class ServingError(ReproError):
+    """Base class for diagnosis-service (worker-pool) failures."""
+
+
+class ServiceOverloadedError(ServingError):
+    """The service's bounded submission queue is full.
+
+    Raised on submit under the ``"reject"`` load-shedding policy (or after
+    the block timeout under ``"block"``).  Callers should back off and
+    retry; ``pending`` and ``limit`` quantify the pressure at rejection
+    time.
+    """
+
+    def __init__(self, message: str, pending: int | None = None,
+                 limit: int | None = None) -> None:
+        super().__init__(message)
+        self.pending = pending
+        self.limit = limit
+
+
+class ServiceShutdownError(ServingError):
+    """The service is draining or stopped and cannot accept work."""
+
+
+class WorkerCrashError(ServingError):
+    """A diagnosis chunk was lost to worker crashes past its retry budget.
+
+    Surfaced per-slot as a structured
+    :class:`~repro.core.diagnosis.DiagnosisFailure` (never an unhandled
+    exception): the supervisor retried the chunk on healthy workers up to
+    the configured budget, and every attempt died.
+    """
+
+    def __init__(self, message: str, attempts: int | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
 class LearningError(ReproError):
     """Parameter or structure learning received unusable data."""
 

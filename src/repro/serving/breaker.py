@@ -1,0 +1,78 @@
+"""Per-worker circuit breaker: quarantine repeat offenders, probe, reinstate.
+
+A worker slot that keeps crashing or timing out is worse than a missing
+worker — every chunk it receives burns a retry from that chunk's budget.
+The supervisor therefore runs one :class:`CircuitBreaker` per worker slot:
+
+* **closed** — healthy; chunks flow.
+* **open** — after ``threshold`` consecutive failures the slot is
+  quarantined for ``cooldown`` seconds; it receives no chunks.
+* **half-open** — cooldown elapsed; the supervisor sends one cheap probe.
+  Success closes the breaker (failure streak reset), failure re-opens it
+  with the cooldown doubled up to ``max_cooldown`` (a flapping worker backs
+  off, not the service).
+
+The breaker is plain state + arithmetic on a supplied monotonic ``now`` so
+it is trivially unit-testable without processes or clocks.
+"""
+
+from __future__ import annotations
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with probe-based reinstatement."""
+
+    def __init__(self, threshold: int = 3, cooldown: float = 1.0,
+                 max_cooldown: float = 30.0) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be > 0, got {cooldown}")
+        self.threshold = threshold
+        self.base_cooldown = cooldown
+        self.max_cooldown = max_cooldown
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self._cooldown = cooldown
+        self._open_until = 0.0
+
+    @property
+    def quarantined(self) -> bool:
+        return self.state != CLOSED
+
+    def record_success(self) -> None:
+        """A chunk (or probe) succeeded: close and reset the streak."""
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self._cooldown = self.base_cooldown
+
+    def record_failure(self, now: float) -> None:
+        """A chunk crashed/hung (or a probe failed) on this worker."""
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            # Failed its reinstatement probe: back off harder.
+            self._cooldown = min(self._cooldown * 2.0, self.max_cooldown)
+            self.state = OPEN
+            self._open_until = now + self._cooldown
+        elif self.consecutive_failures >= self.threshold:
+            self.state = OPEN
+            self._open_until = now + self._cooldown
+
+    def allows_dispatch(self) -> bool:
+        """Whether normal chunks may be sent to this worker right now."""
+        return self.state == CLOSED
+
+    def probe_due(self, now: float) -> bool:
+        """Whether the supervisor should send a reinstatement probe."""
+        return self.state == OPEN and now >= self._open_until
+
+    def begin_probe(self) -> None:
+        self.state = HALF_OPEN
+
+    def next_transition(self) -> float | None:
+        """Monotonic time of the next state change, for wait timeouts."""
+        return self._open_until if self.state == OPEN else None

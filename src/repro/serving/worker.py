@@ -1,0 +1,129 @@
+"""The worker-process side of the diagnosis service.
+
+Each worker hosts its own :class:`~repro.core.robust.RobustDiagnosisEngine`
+(engines are deliberately not shared across processes: evidence caches,
+sampler states and lazily built fallback engines are all per-process) and
+runs a small message loop over a duplex pipe:
+
+parent -> worker
+    ``("chunk", chunk_id, [(slot, DiagnosticCase), ...], budget)`` — run a
+    chunk; ``budget`` is the remaining request wall-clock budget in seconds
+    at dispatch (``None`` for no deadline).
+    ``("probe", probe_id)`` — circuit-breaker reinstatement probe.
+    ``("stop",)`` — graceful exit.
+
+worker -> parent
+    ``("ready", pid)`` once the engine is built,
+    ``("done", chunk_id, [(slot, Diagnosis | DiagnosisFailure), ...],
+    elapsed)`` per chunk, ``("probe-ok", probe_id)`` per probe, and
+    ``("fatal", message)`` if the engine cannot even be constructed.
+
+Every per-case failure inside a healthy worker is converted to a structured
+:class:`~repro.core.diagnosis.DiagnosisFailure` *here*, so the only way a
+chunk comes back incomplete is the process dying — exactly the condition
+the supervisor detects via the process sentinel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import traceback
+
+from repro.core.diagnosis import Diagnosis, DiagnosisFailure, DiagnosticCase
+from repro.core.model_builder import BuiltModel
+from repro.core.robust import FallbackPolicy, RobustDiagnosisEngine
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerPayload:
+    """Everything a worker process needs to build its engine.
+
+    Picklable: shipped to the child under the ``spawn`` start method,
+    inherited for free under ``fork``.  ``chaos`` is a
+    :class:`~repro.testing.chaos.WorkerChaos` plan (testing only) and
+    ``generation`` counts respawns of this worker slot, so chaos plans can
+    disarm themselves after the first incarnation.
+    """
+
+    built_model: BuiltModel
+    policy: FallbackPolicy
+    abnormal_threshold: float = 0.5
+    ambiguous_threshold: float = 0.4
+    worker_index: int = 0
+    generation: int = 0
+    chaos: object | None = None
+
+
+def worker_main(conn, payload: WorkerPayload) -> None:
+    """Run the worker message loop until ``stop`` or parent death."""
+    import os
+
+    try:
+        engine = RobustDiagnosisEngine(
+            payload.built_model, payload.policy,
+            abnormal_threshold=payload.abnormal_threshold,
+            ambiguous_threshold=payload.ambiguous_threshold)
+    except Exception:  # noqa: BLE001 - reported to the supervisor
+        try:
+            conn.send(("fatal", traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+
+    chaos = payload.chaos
+    chunk_number = 0
+    try:
+        conn.send(("ready", os.getpid()))
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break  # parent is gone; die quietly
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "probe":
+                conn.send(("probe-ok", message[1]))
+                continue
+            _, chunk_id, pairs, budget = message
+            chunk_number += 1
+            if chaos is not None:
+                chaos.on_chunk(chunk_number, payload.generation)
+            started = time.perf_counter()
+            results = _run_chunk(engine, pairs, budget, chaos)
+            conn.send(("done", chunk_id, results,
+                       time.perf_counter() - started))
+    except (EOFError, OSError, BrokenPipeError):
+        pass
+    finally:
+        conn.close()
+
+
+def _run_chunk(engine: RobustDiagnosisEngine, pairs, budget, chaos):
+    """Diagnose every ``(slot, case)`` pair, never letting one escape.
+
+    The chunk's remaining request budget is shared across its cases via the
+    engine's draining-deadline closure, so a request deadline set at the
+    service API bounds every attempt down in the fallback chain.
+    """
+    diagnose = engine.diagnose if budget is None \
+        else engine._deadline_diagnose(budget)
+    results = []
+    for slot, case in pairs:
+        if chaos is not None:
+            chaos.on_case(case)
+        results.append((slot, _diagnose_collect(diagnose, case)))
+    return results
+
+
+def _diagnose_collect(diagnose, case: DiagnosticCase,
+                      ) -> Diagnosis | DiagnosisFailure:
+    """Run one case, converting any failure into a structured record."""
+    try:
+        return diagnose(case)
+    except Exception as error:  # noqa: BLE001 - structured transport
+        return DiagnosisFailure.from_exception(
+            case.name, case.raw_evidence(), error,
+            attempts=tuple(getattr(error, "attempts", ()) or ()),
+            wall_time=float(getattr(error, "wall_time", 0.0) or 0.0))

@@ -8,13 +8,19 @@ partial-batch isolation under injected failures.
 from repro.testing.chaos import (
     ChaosError,
     FaultInjector,
+    WorkerChaos,
     corrupt_cpd_table,
+    is_poison_case,
+    poison_case,
     truncated_evidence,
 )
 
 __all__ = [
     "ChaosError",
     "FaultInjector",
+    "WorkerChaos",
     "corrupt_cpd_table",
+    "is_poison_case",
+    "poison_case",
     "truncated_evidence",
 ]

@@ -24,16 +24,23 @@ isolation survives even assertion failures mid-scenario.
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import signal
 import time
 from collections.abc import Mapping
 
 import numpy as np
 
 from repro.bayesnet.network import BayesianNetwork
+from repro.core.diagnosis import DiagnosticCase
 from repro.exceptions import ReproError
 
 #: Modes understood by :func:`corrupt_cpd_table`.
 CPD_CORRUPTION_MODES = ("nan", "negative", "unnormalized", "zero-row")
+
+#: Evidence variable marking a process-poison case (see :func:`poison_case`).
+POISON_EVIDENCE_KEY = "__chaos_poison__"
 
 
 class ChaosError(ReproError):
@@ -200,3 +207,96 @@ class FaultInjector:
         original = network.get_cpd(variable)
         corrupt_cpd_table(network, variable, mode)
         self._restores.append(lambda: network.add_cpd(original))
+
+
+# --------------------------------------------------------------------------
+# Process-level injectors for the worker-pool diagnosis service
+# --------------------------------------------------------------------------
+
+def poison_case(name: str, mode: str = "crash") -> DiagnosticCase:
+    """Return a case engineered to hurt whatever diagnoses it.
+
+    ``mode="crash"``
+        The case carries the :data:`POISON_EVIDENCE_KEY` marker.  A worker
+        running under an armed :class:`WorkerChaos` dies (``SIGKILL``) the
+        moment it picks the case up — the "this exact record reliably
+        segfaults the native stack" scenario.  The supervisor must burn the
+        chunk's retry budget and surface a structured failure without losing
+        any sibling slot.  Without chaos armed, the marker is simply an
+        unknown evidence variable, so the case degrades to a structured
+        evidence failure instead of passing silently.
+    ``mode="invalid"``
+        Plain data poison: an unknown variable that the evidence boundary
+        converts into a structured per-case failure in-process.
+    """
+    if mode not in ("crash", "invalid"):
+        raise ValueError(f"unknown poison mode {mode!r}; "
+                         "use 'crash' or 'invalid'")
+    key = POISON_EVIDENCE_KEY if mode == "crash" else "__not_a_variable__"
+    return DiagnosticCase(name=name, controllable_states={},
+                          observable_states={key: "1"})
+
+
+def is_poison_case(case: DiagnosticCase) -> bool:
+    """True when ``case`` carries the crash-poison marker."""
+    return POISON_EVIDENCE_KEY in case.observable_states \
+        or POISON_EVIDENCE_KEY in case.controllable_states
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerChaos:
+    """Process-level fault plan executed *inside* a serving worker.
+
+    Picklable by design: the service ships it to the worker process, whose
+    chunk loop calls the hooks.  All counters are per-process, so a
+    respawned worker starts fresh.
+
+    Attributes
+    ----------
+    kill_on_chunk:
+        ``SIGKILL`` the worker process when it receives its nth chunk
+        (1-based) — the hard-crash scenario.  The in-flight chunk is lost
+        exactly as a real crash would lose it.
+    hang_on_chunk:
+        Sleep ``hang_seconds`` before processing the nth chunk — the stuck
+        native-call scenario the supervisor's hang detection must reap.
+    hang_seconds:
+        Length of the injected hang (default effectively forever; the
+        supervisor is expected to kill the worker long before).
+    slow_per_case:
+        Extra sleep in seconds prepended to every case — the degraded-node
+        scenario backpressure and latency percentiles must surface.
+    only_first_generation:
+        When true (default), kill/hang triggers are disarmed on respawned
+        workers (``generation > 0``), so a crashed worker comes back
+        healthy and the pool recovers.  Poison-case kills stay armed
+        regardless — a poison record must keep killing whoever touches it.
+    """
+
+    kill_on_chunk: int | None = None
+    hang_on_chunk: int | None = None
+    hang_seconds: float = 3600.0
+    slow_per_case: float = 0.0
+    only_first_generation: bool = True
+
+    def armed(self, generation: int) -> bool:
+        """Whether the chunk-level triggers apply to this process."""
+        return generation == 0 or not self.only_first_generation
+
+    def on_chunk(self, chunk_number: int, generation: int) -> None:
+        """Chunk-receipt hook: kill or hang per the plan (worker process)."""
+        if not self.armed(generation):
+            return
+        if self.kill_on_chunk is not None \
+                and chunk_number == self.kill_on_chunk:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self.hang_on_chunk is not None \
+                and chunk_number == self.hang_on_chunk:
+            time.sleep(self.hang_seconds)
+
+    def on_case(self, case: DiagnosticCase) -> None:
+        """Per-case hook: die on poison, drag on slowness (worker process)."""
+        if is_poison_case(case):
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self.slow_per_case > 0:
+            time.sleep(self.slow_per_case)

@@ -1,0 +1,121 @@
+"""The evidence-cache capacity knob: constructor, environment, policy.
+
+Serving fleets host one engine per worker process, so cache capacity is a
+per-worker memory budget.  It must be settable per engine
+(``cache_size=``), per process (``REPRO_EVIDENCE_CACHE_SIZE``), and per
+policy (``FallbackPolicy.evidence_cache_size``), with constructor beating
+environment beating the library default of 128 — and bad values must be
+rejected loudly, not clamped silently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bayesnet.inference import JunctionTree, VariableElimination
+from repro.bayesnet.inference._evidence_cache import (
+    CACHE_SIZE_ENV_VAR,
+    DEFAULT_CACHE_SIZE,
+    EvidenceCache,
+    resolve_cache_size,
+)
+from repro.core import Dlog2BBN, FallbackPolicy, RobustDiagnosisEngine
+from repro.exceptions import DiagnosisError, InferenceError
+
+
+class TestResolveCacheSize:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_SIZE_ENV_VAR, raising=False)
+        assert resolve_cache_size() == DEFAULT_CACHE_SIZE
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(CACHE_SIZE_ENV_VAR, "999")
+        assert resolve_cache_size(4) == 4
+
+    def test_environment_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(CACHE_SIZE_ENV_VAR, "17")
+        assert resolve_cache_size() == 17
+
+    def test_non_integer_environment_is_loud(self, monkeypatch):
+        monkeypatch.setenv(CACHE_SIZE_ENV_VAR, "lots")
+        with pytest.raises(InferenceError):
+            resolve_cache_size()
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_nonpositive_rejected(self, value):
+        with pytest.raises(InferenceError):
+            resolve_cache_size(value)
+
+    def test_nonpositive_environment_rejected(self, monkeypatch):
+        monkeypatch.setenv(CACHE_SIZE_ENV_VAR, "0")
+        with pytest.raises(InferenceError):
+            resolve_cache_size()
+
+
+class TestEngineCapacity:
+    def test_ve_capacity_bounds_the_lru(self, sprinkler_network):
+        engine = VariableElimination(sprinkler_network, cache_size=2)
+        for state in ("0", "1"):
+            engine.posteriors(["wet"], {"cloudy": state})
+            engine.posteriors(["wet"], {"rain": state})
+        assert len(engine._marginal_cache._entries) == 2
+
+    def test_ve_default_capacity(self, sprinkler_network, monkeypatch):
+        monkeypatch.delenv(CACHE_SIZE_ENV_VAR, raising=False)
+        engine = VariableElimination(sprinkler_network)
+        assert engine._marginal_cache._max_entries == DEFAULT_CACHE_SIZE
+
+    def test_ve_reads_the_environment(self, sprinkler_network, monkeypatch):
+        monkeypatch.setenv(CACHE_SIZE_ENV_VAR, "3")
+        engine = VariableElimination(sprinkler_network)
+        assert engine._marginal_cache._max_entries == 3
+        assert engine._probability_cache._max_entries == 3
+
+    def test_jt_capacity_bounds_the_lru(self, sprinkler_network):
+        engine = JunctionTree(sprinkler_network, cache_size=1)
+        engine.posteriors(["wet"], {"cloudy": "0"})
+        engine.posteriors(["wet"], {"cloudy": "1"})
+        assert len(engine._calibrations._entries) == 1
+
+    def test_jt_reads_the_environment(self, sprinkler_network, monkeypatch):
+        monkeypatch.setenv(CACHE_SIZE_ENV_VAR, "5")
+        engine = JunctionTree(sprinkler_network)
+        assert engine._calibrations._max_entries == 5
+
+    def test_cached_answers_match_uncached(self, sprinkler_network):
+        tiny = VariableElimination(sprinkler_network, cache_size=1)
+        roomy = VariableElimination(sprinkler_network, cache_size=64)
+        for evidence in ({"cloudy": "0"}, {"rain": "1"}, {"cloudy": "0"}):
+            lhs = tiny.posteriors(["wet"], evidence)["wet"]
+            rhs = roomy.posteriors(["wet"], evidence)["wet"]
+            assert lhs == pytest.approx(rhs)
+
+
+class TestPolicyKnob:
+    def test_policy_validates_capacity(self):
+        with pytest.raises(DiagnosisError):
+            FallbackPolicy(evidence_cache_size=0)
+
+    def test_policy_capacity_reaches_the_engines(self, regulator_circuit):
+        builder = Dlog2BBN(regulator_circuit.model,
+                           regulator_circuit.healthy_states)
+        built = builder.build()
+        engine = RobustDiagnosisEngine(
+            built, FallbackPolicy(evidence_cache_size=7))
+        inner = engine._engine
+        caches = [getattr(inner, "_marginal_cache", None),
+                  getattr(inner, "_calibrations", None)]
+        sizes = {cache._max_entries for cache in caches if cache is not None}
+        assert sizes == {7}
+
+
+class TestEvidenceCachePrimitive:
+    def test_lru_eviction_order(self, sprinkler_network):
+        cache = EvidenceCache(sprinkler_network, max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.get(("a",)) == 1     # touch "a": "b" is now oldest
+        cache.put(("c",), 3)
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == 1
+        assert cache.get(("c",)) == 3

@@ -1,0 +1,185 @@
+"""Deadline-budget edge cases of the robust fallback chain.
+
+The per-request wall-clock budget (``RobustDiagnosisEngine.diagnose(case,
+deadline=...)`` and the draining per-batch variant behind
+``diagnose_batch(..., deadline=...)``) interacts with three other clocks:
+the policy's per-attempt deadline, the retry backoff schedule, and the
+attempt itself.  These tests pin the edges: budgets that are already zero
+or negative, budgets that expire in the middle of an attempt, and budgets
+shorter than a single backoff interval must all fail fast with a
+structured :class:`~repro.exceptions.DeadlineExceededError` — never sleep
+past their budget, and never lose the attempt trail.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import Dlog2BBN, FallbackPolicy, RobustDiagnosisEngine
+from repro.core.paper_cases import PAPER_DIAGNOSTIC_CASES
+from repro.exceptions import DeadlineExceededError, InferenceTimeoutError
+from repro.testing import FaultInjector
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.exceptions.DegradedResultWarning")
+
+CASE = PAPER_DIAGNOSTIC_CASES[0]
+
+
+@pytest.fixture(scope="module")
+def built_model(regulator_circuit):
+    builder = Dlog2BBN(regulator_circuit.model,
+                       regulator_circuit.healthy_states)
+    return builder.build()
+
+
+def make_engine(built_model, **policy_overrides) -> RobustDiagnosisEngine:
+    defaults = dict(chain=("ve", "lw"), num_samples=500, seed=3)
+    defaults.update(policy_overrides)
+    return RobustDiagnosisEngine(built_model, FallbackPolicy(**defaults))
+
+
+class TestExhaustedBeforeStart:
+    @pytest.mark.parametrize("deadline", [0.0, -1.0, -0.001])
+    def test_nonpositive_budget_fails_immediately(self, built_model,
+                                                  deadline):
+        engine = make_engine(built_model)
+        started = time.perf_counter()
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            engine.diagnose(CASE, deadline=deadline)
+        assert time.perf_counter() - started < 1.0
+        error = excinfo.value
+        assert error.remaining is not None and error.remaining <= 0
+        assert error.attempts == ()          # no engine was ever tried
+        assert error.wall_time >= 0.0
+
+    def test_nonpositive_budget_is_an_inference_timeout(self, built_model):
+        # DeadlineExceededError must stay catchable as the existing
+        # per-attempt timeout type, so older handlers keep working.
+        engine = make_engine(built_model)
+        with pytest.raises(InferenceTimeoutError):
+            engine.diagnose(CASE, deadline=-1.0)
+
+    def test_none_deadline_keeps_plain_behaviour(self, built_model):
+        engine = make_engine(built_model)
+        diagnosis = engine.diagnose(CASE, deadline=None)
+        assert diagnosis.ok
+        assert not diagnosis.provenance.degraded
+
+
+class TestExpiresMidAttempt:
+    def test_attempt_is_cut_at_the_remaining_budget(self, built_model):
+        # The attempt would take 1.5s; the request budget is 0.3s.  The
+        # attempt must be abandoned at ~0.3s and the chain aborted with the
+        # budget error, the timed-out attempt on its trail.
+        engine = make_engine(built_model)
+        with FaultInjector() as chaos:
+            chaos.add_latency(engine._engine, "posteriors", 1.5)
+            started = time.perf_counter()
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                engine.diagnose(CASE, deadline=0.3)
+            elapsed = time.perf_counter() - started
+        assert elapsed < 1.2, "attempt was not cut at the budget"
+        error = excinfo.value
+        assert error.remaining <= 0
+        assert [a.outcome for a in error.attempts] == ["timeout"]
+        assert error.attempts[0].engine == "ve"
+        assert isinstance(error.__cause__, InferenceTimeoutError)
+
+    def test_request_budget_clamps_a_looser_policy_deadline(self,
+                                                            built_model):
+        # Policy allows 60s per attempt; the request only has 0.25s left —
+        # the tighter clock must win.
+        engine = make_engine(built_model, deadline=60.0)
+        with FaultInjector() as chaos:
+            chaos.add_latency(engine._engine, "posteriors", 1.5)
+            started = time.perf_counter()
+            with pytest.raises(DeadlineExceededError):
+                engine.diagnose(CASE, deadline=0.25)
+            assert time.perf_counter() - started < 1.2
+
+    def test_policy_deadline_still_wins_when_tighter(self, built_model):
+        # The converse: a huge request budget must not loosen the policy's
+        # own 0.2s per-attempt deadline; the chain degrades to the sampler
+        # exactly as it would without a request deadline.
+        engine = make_engine(built_model, deadline=0.2)
+        with FaultInjector() as chaos:
+            chaos.add_latency(engine._engine, "posteriors", 1.5)
+            diagnosis = engine.diagnose(CASE, deadline=120.0)
+        assert diagnosis.ok
+        assert diagnosis.provenance.degraded
+        assert diagnosis.provenance.engine == "lw"
+        assert diagnosis.provenance.attempts[0].outcome == "timeout"
+
+
+class TestBackoffInteraction:
+    def test_budget_shorter_than_one_backoff_interval(self, built_model):
+        # backoff=30s, budget=0.3s: the retry sleep must be clamped to the
+        # remaining budget (not slept in full) and then the budget check
+        # must fire.  The whole call stays near 0.3s, nowhere near 30s.
+        engine = make_engine(built_model, chain=("ve",),
+                            attempts_per_engine=3, backoff=30.0)
+        with FaultInjector() as chaos:
+            chaos.raise_on_call(engine._engine, "posteriors")
+            started = time.perf_counter()
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                engine.diagnose(CASE, deadline=0.3)
+            elapsed = time.perf_counter() - started
+        assert elapsed < 5.0, f"slept past the budget: {elapsed:.1f}s"
+        assert elapsed >= 0.25          # the clamped sleep still drained it
+        error = excinfo.value
+        assert [a.outcome for a in error.attempts] == ["error"]
+
+    def test_backoff_untouched_without_request_deadline(self, built_model):
+        # Sanity: the clamp only applies when a budget exists.
+        engine = make_engine(built_model, chain=("ve", "lw"),
+                            attempts_per_engine=2, backoff=0.05)
+        with FaultInjector() as chaos:
+            chaos.raise_on_call(engine._engine, "posteriors")
+            diagnosis = engine.diagnose(CASE)
+        assert diagnosis.ok
+        assert diagnosis.provenance.degraded
+
+
+class TestDrainingBatchBudget:
+    def test_batch_budget_drains_across_cases(self, built_model):
+        # Four slow cases against a budget that fits roughly one: every
+        # slot must come back (collect mode), the tail as fast structured
+        # deadline failures, and the batch must not overrun its budget by
+        # more than one attempt.
+        engine = make_engine(built_model, chain=("ve",))
+        cases = [CASE] * 4
+        with FaultInjector() as chaos:
+            chaos.add_latency(engine._engine, "posteriors", 0.2)
+            started = time.perf_counter()
+            results = engine.diagnose_batch(cases, on_error="collect",
+                                            deadline=0.3)
+            elapsed = time.perf_counter() - started
+        assert len(results) == 4
+        kinds = [getattr(r, "error_type", "ok") for r in results]
+        assert set(kinds) <= {"ok", "FallbackExhaustedError",
+                              "DeadlineExceededError"}
+        assert kinds[-1] == "DeadlineExceededError"
+        assert elapsed < 2.0
+
+    def test_expired_batch_budget_fails_every_case_fast(self, built_model):
+        engine = make_engine(built_model)
+        started = time.perf_counter()
+        results = engine.diagnose_batch([CASE] * 50, on_error="collect",
+                                        deadline=1e-9)
+        assert time.perf_counter() - started < 5.0
+        assert len(results) == 50
+        assert {r.error_type for r in results} == {"DeadlineExceededError"}
+
+    def test_deadline_failures_keep_attempt_trails(self, built_model):
+        engine = make_engine(built_model, chain=("ve", "lw"))
+        with FaultInjector() as chaos:
+            chaos.add_latency(engine._engine, "posteriors", 1.5)
+            results = engine.diagnose_batch([CASE], on_error="collect",
+                                            deadline=0.3)
+        failure = results[0]
+        assert failure.error_type == "DeadlineExceededError"
+        assert failure.wall_time > 0
+        assert [a.outcome for a in failure.attempts] == ["timeout"]
