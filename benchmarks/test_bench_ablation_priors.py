@@ -28,7 +28,7 @@ def score_engine(engine):
 
 def run_ablation(regulator_circuit, regulator_prior, failed_population):
     builder = Dlog2BBN(regulator_circuit.model, regulator_circuit.healthy_states)
-    cases = builder.case_generator().cases_from_results(failed_population.results)
+    cases = builder.case_generator().case_matrix(failed_population.to_store())
 
     designer_only = builder.build(prior_network=regulator_prior)
     uniform_tuned = builder.build(cases, method="bayes",

@@ -1,0 +1,122 @@
+"""Interactive single-device diagnosis latency — p50 / p99.
+
+The batched data path optimises training and population-scale serving, but
+the debug-bench workflow stays interactive: one failing device on the
+bench, one posterior update, an engineer waiting for the suspect list.
+This benchmark pins the tail latency of that path for both exact engines
+(variable elimination and the junction tree, whose single-query path keeps
+a per-calibration marginal memo).  Engines run with ``cache_size=1`` and a
+rotating evidence set so every timed call is a cold inference sweep, not an
+evidence-cache hit.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.ate import PopulationGenerator
+from repro.circuits import BehavioralSimulator
+from repro.core import DiagnosisEngine, Dlog2BBN
+from repro.core.paper_cases import PAPER_DIAGNOSTIC_CASES
+from repro.utils.tables import format_table
+
+SAMPLES = 200
+MAX_EVIDENCES = 48
+
+
+@pytest.fixture(scope="module")
+def latency_evidences(regulator_circuit, regulator_program):
+    """Distinct single-device evidence maps: paper cases + fresh devices."""
+    simulator = BehavioralSimulator(
+        regulator_circuit.netlist,
+        process_variation=regulator_circuit.process_variation, seed=51)
+    generator = PopulationGenerator(
+        simulator, regulator_program, regulator_circuit.fault_universe,
+        regulator_circuit.block_weights, seed=52)
+    population = generator.generate(failed_count=60)
+    builder = Dlog2BBN(regulator_circuit.model,
+                       regulator_circuit.healthy_states)
+    cases = builder.case_generator().case_matrix(
+        population.to_store()).to_labeled_cases()
+    evidences = [case.evidence() for case in PAPER_DIAGNOSTIC_CASES]
+    seen = {tuple(sorted(evidence.items())) for evidence in evidences}
+    for case in cases:
+        if not case.failed:
+            continue
+        observed = case.observed()
+        key = tuple(sorted(observed.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        evidences.append(observed)
+        if len(evidences) >= MAX_EVIDENCES:
+            break
+    return evidences
+
+
+def percentile(sorted_values, fraction):
+    index = min(len(sorted_values) - 1,
+                round(fraction * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+@pytest.mark.parametrize("inference", ["ve", "jt"])
+def test_bench_single_device_latency(benchmark, built_model,
+                                     latency_evidences, inference):
+    engine = DiagnosisEngine(built_model, inference=inference, cache_size=1)
+    # One warm-up call pays the one-time costs (model validation memos,
+    # elimination orders / tree compilation) that a resident bench-station
+    # service would have amortised long before the device arrives.
+    engine.diagnose_evidence(latency_evidences[0], name="warmup")
+
+    timings = []
+    for sample in range(SAMPLES):
+        evidence = latency_evidences[sample % len(latency_evidences)]
+        start = time.perf_counter()
+        engine.diagnose_evidence(evidence, name=f"s{sample}")
+        timings.append(time.perf_counter() - start)
+    timings.sort()
+    p50 = percentile(timings, 0.50)
+    p99 = percentile(timings, 0.99)
+
+    cursor = {"next": 0}
+
+    def one_device():
+        index = cursor["next"]
+        cursor["next"] = (index + 1) % len(latency_evidences)
+        return engine.diagnose_evidence(latency_evidences[index],
+                                        name="bench")
+
+    diagnosis = benchmark(one_device)
+
+    print()
+    print(format_table(
+        ["Engine", "Evidences", "p50 (ms)", "p99 (ms)"],
+        [[inference, len(latency_evidences), f"{p50 * 1e3:.2f}",
+          f"{p99 * 1e3:.2f}"]],
+        title="Single-device diagnosis latency"))
+    if benchmark.stats is not None:
+        benchmark.extra_info["p50_ms"] = round(p50 * 1e3, 3)
+        benchmark.extra_info["p99_ms"] = round(p99 * 1e3, 3)
+    assert diagnosis.suspects is not None
+    # Interactive budget: the median must feel instant, the tail must not
+    # stall the bench station.
+    assert p50 < 0.050
+    assert p99 < 0.250
+
+
+def test_exact_engines_agree_on_latency_workload(built_model,
+                                                 latency_evidences):
+    """Both timed engines produce identical suspect lists on the workload."""
+    ve = DiagnosisEngine(built_model, inference="ve", cache_size=1)
+    jt = DiagnosisEngine(built_model, inference="jt", cache_size=1)
+    for number, evidence in enumerate(latency_evidences[:10]):
+        ours = ve.diagnose_evidence(evidence, name=f"agree{number}")
+        theirs = jt.diagnose_evidence(evidence, name=f"agree{number}")
+        assert ours.suspects == theirs.suspects, evidence
+        for variable, distribution in ours.posteriors.items():
+            for state, probability in distribution.items():
+                assert probability == pytest.approx(
+                    theirs.posteriors[variable][state], abs=1e-9)

@@ -21,14 +21,10 @@ from repro.utils.tables import format_table
 TRAINING_SIZES = [0, 10, 30, 70]
 
 
-def heldout_log_likelihood(network, cases):
+def heldout_log_likelihood(network, evidence_list):
     engine = VariableElimination(network)
-    total = 0.0
-    for case in cases:
-        evidence = {variable: state for variable, state in case.observed().items()}
-        probability = engine.probability_of_evidence(evidence)
-        total += float(np.log(max(probability, 1e-12)))
-    return total / len(cases)
+    probabilities = engine.probabilities_of_evidence(evidence_list)
+    return float(np.mean(np.log(np.maximum(probabilities, 1e-12))))
 
 
 def sweep(regulator_circuit, regulator_program, regulator_prior):
@@ -42,17 +38,21 @@ def sweep(regulator_circuit, regulator_program, regulator_prior):
     case_generator = builder.case_generator()
 
     training = generator.generate(failed_count=max(TRAINING_SIZES))
+    training_store = training.to_store()
     heldout = generator.generate(failed_count=25)
-    heldout_cases = case_generator.cases_from_results(heldout.failing_results)
+    heldout_evidence = [case.observed() for case in
+                        case_generator.case_matrix(
+                            heldout.to_store(),
+                            only_failing_devices=True).to_labeled_cases()]
 
     results = []
     for size in TRAINING_SIZES:
-        subset = training.results[:size]
-        cases = case_generator.cases_from_results(subset) if size else []
+        cases = case_generator.case_matrix(
+            training_store.select(np.arange(size))) if size else []
         built = builder.build(cases, method="bayes", prior_network=regulator_prior,
                               equivalent_sample_size=50)
         results.append((size, len(cases),
-                        heldout_log_likelihood(built.network, heldout_cases)))
+                        heldout_log_likelihood(built.network, heldout_evidence)))
     return results
 
 

@@ -19,8 +19,10 @@ subpackage emulates the production-test side of that flow:
 from repro.ate.test_spec import SpecificationTest, TestLimit
 from repro.ate.test_program import TestProgram
 from repro.ate.tester import ATETester, DeviceResult, Measurement
-from repro.ate.datalog import DatalogRecord, DeviceDatalog, write_datalog, parse_datalog
+from repro.ate.datalog import (DatalogRecord, DeviceDatalog, write_datalog,
+                               parse_datalog, read_columnar)
 from repro.ate.population import DevicePopulation, PopulationGenerator
+from repro.ate.store import DeviceResultStore, store_from_datalogs
 
 __all__ = [
     "SpecificationTest",
@@ -33,6 +35,9 @@ __all__ = [
     "DeviceDatalog",
     "write_datalog",
     "parse_datalog",
+    "read_columnar",
+    "DeviceResultStore",
+    "store_from_datalogs",
     "DevicePopulation",
     "PopulationGenerator",
 ]

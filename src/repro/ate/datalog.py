@@ -20,6 +20,8 @@ import dataclasses
 from collections.abc import Iterable, Mapping
 from pathlib import Path
 
+import numpy as np
+
 from repro.exceptions import DatalogError
 
 
@@ -195,7 +197,191 @@ def parse_datalog(path: str | Path) -> list[DeviceDatalog]:
         try:
             record = DatalogRecord.from_line(stripped)
         except DatalogError as exc:
-            raise DatalogError(f"{path}:{line_number}: {exc}") from exc
+            raise DatalogError(f"{path}:{line_number}: {exc}",
+                               path=str(path), line_number=line_number) from exc
         datalogs.setdefault(record.device_id, DeviceDatalog(record.device_id))
         datalogs[record.device_id].add(record)
     return list(datalogs.values())
+
+
+_REQUIRED_FIELDS = ("DEVICE", "TEST", "NAME", "BLOCK", "VALUE", "LO", "HI",
+                    "RESULT")
+
+
+def read_columnar(path: str | Path, *, chunk_devices: int = 1024):
+    """Parse an ASCII datalog straight into a columnar store.
+
+    Unlike :func:`parse_datalog`, which builds one :class:`DatalogRecord`
+    dataclass per line, this reader learns the test program from the first
+    device's records and then only extracts the value and verdict of each
+    subsequent line into ``(tests, devices)`` planes, growing the device
+    axis in ``chunk_devices``-column chunks.  It is the streaming entry
+    point for ATE-scale datalogs.
+
+    Every device must have run the same program in the same order (the
+    batched tester's output format); a device whose records deviate raises
+    :class:`DatalogError` with the offending line number.
+    """
+    from repro.ate.store import DeviceResultStore
+    from repro.circuits.faults import BlockFault, FaultMode
+
+    path = Path(path)
+    if not path.exists():
+        raise DatalogError(f"datalog file {path} does not exist")
+
+    def fail(line_number: int, message: str) -> DatalogError:
+        return DatalogError(f"{path}:{line_number}: {message}",
+                            path=str(path), line_number=line_number)
+
+    # Program rows learned from the first device: (number, name, block,
+    # lower, upper, cond-text) tuples; COND is compared as raw text (cheap)
+    # and parsed to floats only once per program row.
+    program: list[tuple] = []
+    program_done = False
+    device_ids: list[str] = []
+    device_column: dict[str, int] = {}
+    cursor: dict[str, int] = {}          # next expected program row per device
+    values: np.ndarray | None = None
+    passed: np.ndarray | None = None
+    fault_labels: dict[str, str] = {}
+
+    def ensure_capacity(rows_needed: int, cols_needed: int) -> None:
+        """Grow the planes geometrically (columns in device chunks)."""
+        nonlocal values, passed
+        if values is None:
+            shape = (max(rows_needed, 16), max(cols_needed, chunk_devices))
+            values = np.empty(shape)
+            passed = np.empty(shape, dtype=bool)
+            return
+        rows, cols = values.shape
+        if rows_needed <= rows and cols_needed <= cols:
+            return
+        new_rows = rows if rows_needed <= rows else max(rows_needed, 2 * rows)
+        new_cols = cols if cols_needed <= cols else max(cols_needed,
+                                                        cols + chunk_devices)
+        new_values = np.empty((new_rows, new_cols))
+        new_passed = np.empty((new_rows, new_cols), dtype=bool)
+        new_values[:rows, :cols] = values
+        new_passed[:rows, :cols] = passed
+        values, passed = new_values, new_passed
+
+    with path.open(encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, 1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.startswith("#"):
+                parts = stripped.split(maxsplit=4)
+                if (len(parts) >= 4 and parts[1] == "DEVICE"
+                        and "=" in parts[3]):
+                    key, _, value = " ".join(parts[3:]).partition("=")
+                    if key.strip() == "injected_faults":
+                        fault_labels[parts[2]] = value.strip()
+                continue
+            fields: dict[str, str] = {}
+            for part in stripped.split("|"):
+                if not part:
+                    continue
+                key, sep, value = part.partition("=")
+                if not sep:
+                    raise fail(line_number,
+                               f"malformed datalog field {part!r}")
+                fields[key] = value
+            missing = [key for key in _REQUIRED_FIELDS if key not in fields]
+            if missing:
+                raise fail(line_number,
+                           f"datalog line is missing fields {missing}")
+            device_id = fields["DEVICE"]
+            column = device_column.get(device_id)
+            if column is None:
+                column = len(device_ids)
+                device_column[device_id] = column
+                device_ids.append(device_id)
+                cursor[device_id] = 0
+                if program:
+                    program_done = True
+            row = cursor[device_id]
+            signature = (fields["TEST"], fields["NAME"], fields["BLOCK"],
+                         fields["LO"], fields["HI"], fields.get("COND", ""))
+            if not program_done and column == 0:
+                program.append(signature + (line_number,))
+            else:
+                if row >= len(program) or program[row][:6] != signature:
+                    raise fail(line_number,
+                               f"device {device_id!r} deviates from the test "
+                               "program of the first device; the columnar "
+                               "reader requires a homogeneous datalog (use "
+                               "parse_datalog for heterogeneous logs)")
+            try:
+                value = float(fields["VALUE"])
+            except ValueError:
+                raise fail(line_number,
+                           f"cannot parse numeric field VALUE={fields['VALUE']!r}"
+                           ) from None
+            ensure_capacity(row + 1, column + 1)
+            values[row, column] = value
+            passed[row, column] = fields["RESULT"].upper() == "P"
+            cursor[device_id] = row + 1
+
+    if not program:
+        raise DatalogError(f"datalog file {path} contains no records")
+    short = [device for device in device_ids
+             if cursor[device] != len(program)]
+    if short:
+        raise DatalogError(
+            f"{path}: devices {short[:5]} have fewer records than the "
+            f"{len(program)}-test program of the first device")
+
+    tests = len(program)
+    devices = len(device_ids)
+    values = values[:tests, :devices]
+    passed = passed[:tests, :devices]
+    numbers, names, blocks, lowers, uppers, conditions = [], [], [], [], [], []
+    for number, name, block, lower, upper, cond_text, row_line in program:
+        try:
+            numbers.append(int(number))
+            lowers.append(float(lower))
+            uppers.append(float(upper))
+        except ValueError:
+            raise fail(row_line, "cannot parse numeric field") from None
+        names.append(name)
+        blocks.append(block)
+        parsed: dict[str, float] = {}
+        if cond_text:
+            for piece in cond_text.split(";"):
+                if not piece:
+                    continue
+                cond_block, _, cond_value = piece.partition(":")
+                if not cond_block or not cond_value:
+                    raise fail(row_line, f"malformed condition {piece!r}")
+                try:
+                    parsed[cond_block] = float(cond_value)
+                except ValueError:
+                    raise fail(row_line,
+                               f"malformed condition {piece!r}") from None
+        conditions.append(parsed)
+
+    fault_index: list[int] = []
+    fault_blocks: list[str] = []
+    fault_modes: list[str] = []
+    fault_severities: list[float] = []
+    for device_id, labels in fault_labels.items():
+        column = device_column.get(device_id)
+        if column is None or not labels:
+            continue
+        for label in labels.split(","):
+            block, _, mode = label.partition(":")
+            if not block or not mode:
+                raise DatalogError(
+                    f"{path}: malformed injected_faults label {label!r} for "
+                    f"device {device_id!r}")
+            fault_index.append(column)
+            fault_blocks.append(block)
+            fault_modes.append(FaultMode(mode).value)
+            fault_severities.append(1.0)
+    order = np.argsort(fault_index, kind="stable") if fault_index else []
+    return DeviceResultStore(
+        device_ids, values, passed, numbers, names, blocks, lowers, uppers,
+        conditions,
+        [fault_index[i] for i in order], [fault_blocks[i] for i in order],
+        [fault_modes[i] for i in order], [fault_severities[i] for i in order])

@@ -12,7 +12,6 @@ never enters the learning path.
 
 from __future__ import annotations
 
-import dataclasses
 from collections.abc import Mapping
 
 import numpy as np
@@ -26,9 +25,14 @@ from repro.exceptions import ATEError
 from repro.utils.rng import ensure_rng
 
 
-@dataclasses.dataclass
 class DevicePopulation:
     """A generated device population.
+
+    Backed either by per-device :class:`DeviceResult` rows or by a columnar
+    :class:`DeviceResultStore` (the batched generator produces the latter and
+    materialises rows lazily on first access to :attr:`results`, so
+    store-only consumers — case generation, batched CPT learning — never pay
+    for row objects).
 
     Attributes
     ----------
@@ -38,12 +42,28 @@ class DevicePopulation:
         Injected fault per device id (absent for defect-free devices).
     """
 
-    results: list[DeviceResult]
-    ground_truth: dict[str, BlockFault]
+    def __init__(self, results: list[DeviceResult] | None = None,
+                 ground_truth: Mapping[str, BlockFault] | None = None,
+                 store=None) -> None:
+        if results is None and store is None:
+            raise ATEError(
+                "a population needs result rows or a columnar store")
+        self._results = list(results) if results is not None else None
+        self._store = store
+        self.ground_truth = dict(ground_truth or {})
+
+    @property
+    def results(self) -> list[DeviceResult]:
+        """Per-device ATE results (materialised from the store on demand)."""
+        if self._results is None:
+            self._results = self._store.to_results()
+        return self._results
 
     @property
     def device_ids(self) -> list[str]:
         """All device identifiers."""
+        if self._results is None:
+            return [str(device_id) for device_id in self._store.device_ids]
         return [result.device_id for result in self.results]
 
     @property
@@ -59,6 +79,29 @@ class DevicePopulation:
     def to_datalogs(self) -> list[DeviceDatalog]:
         """Convert every device result into an ASCII-serialisable datalog."""
         return [result.to_datalog() for result in self.results]
+
+    def to_store(self):
+        """Return the population as a columnar :class:`DeviceResultStore`.
+
+        The array-native entry point into case generation and batched CPT
+        learning (see :meth:`CaseGenerator.case_matrix`).  Cached like
+        :meth:`result_for`: the only mutation the generators perform is
+        appending, so the store is rebuilt only when ``results`` grew.
+        """
+        from repro.ate.store import DeviceResultStore
+
+        if self._results is None:
+            return self._store
+        cached = self.__dict__.get("_store_cache")
+        if cached is None or cached[1] != len(self._results):
+            if (self._store is not None
+                    and self._store.device_count == len(self._results)):
+                store = self._store
+            else:
+                store = DeviceResultStore.from_results(self._results)
+            cached = (store, len(self._results))
+            self.__dict__["_store_cache"] = cached
+        return cached[0]
 
     def result_for(self, device_id: str) -> DeviceResult:
         """Return the result of one device (O(1) dict-backed lookup).
@@ -80,7 +123,9 @@ class DevicePopulation:
             raise ATEError(f"no device {device_id!r} in the population") from None
 
     def __len__(self) -> int:
-        return len(self.results)
+        if self._results is None:
+            return self._store.device_count
+        return len(self._results)
 
 
 class PopulationGenerator:
@@ -141,6 +186,15 @@ class PopulationGenerator:
         return self._tester.test_devices(
             device_ids, [{fault.block: fault} for fault in faults])
 
+    def _generate_failed_store(self, count: int):
+        """Columnar :meth:`_generate_failed_batch`: same RNG stream, no rows."""
+        faults = self.fault_universe.sample_batch(count, self._rng,
+                                                  self.block_weights)
+        device_ids = [self._next_device_id() for _ in range(count)]
+        store = self._tester.test_devices_store(
+            device_ids, [{fault.block: fault} for fault in faults])
+        return store, list(faults)
+
     def generate(self, failed_count: int, passing_count: int = 0,
                  require_observable_failure: bool = True,
                  max_attempts_per_device: int = 20) -> DevicePopulation:
@@ -166,27 +220,60 @@ class PopulationGenerator:
         max_attempts_per_device:
             Upper bound on re-draws before accepting a masked fault.
         """
+        from repro.ate.store import DeviceResultStore
+
         if failed_count < 0 or passing_count < 0:
             raise ATEError("device counts must be non-negative")
-        results: list[DeviceResult] = []
+        if not failed_count and not passing_count:
+            return DevicePopulation(results=[], ground_truth={})
+        values = passed = None
+        device_ids: list[str] = []
+        faults_by_slot: list[BlockFault] = []
+        metadata = None
         if failed_count:
-            results = self._generate_failed_batch(failed_count)
+            store, faults_by_slot = self._generate_failed_store(failed_count)
+            metadata = store
+            values, passed = store.values, store.passed
+            device_ids = [str(device_id) for device_id in store.device_ids]
             if require_observable_failure:
-                masked = [slot for slot, result in enumerate(results)
-                          if not result.failed]
+                masked = np.flatnonzero(passed.all(axis=0))
                 attempts = 1
-                while masked and attempts < max_attempts_per_device:
-                    redrawn = self._generate_failed_batch(len(masked))
-                    for slot, result in zip(masked, redrawn):
-                        results[slot] = result
-                    masked = [slot for slot in masked if not results[slot].failed]
+                while len(masked) and attempts < max_attempts_per_device:
+                    redrawn, redrawn_faults = self._generate_failed_store(
+                        len(masked))
+                    values[:, masked] = redrawn.values
+                    passed[:, masked] = redrawn.passed
+                    for slot, device_id, fault in zip(
+                            masked, redrawn.device_ids, redrawn_faults):
+                        device_ids[slot] = str(device_id)
+                        faults_by_slot[slot] = fault
+                    masked = masked[passed[:, masked].all(axis=0)]
                     attempts += 1
-        ground_truth = {result.device_id: next(iter(result.faults.values()))
-                        for result in results}
+        ground_truth = {device_ids[slot]: fault
+                        for slot, fault in enumerate(faults_by_slot)}
         if passing_count:
-            device_ids = [self._next_device_id() for _ in range(passing_count)]
-            results.extend(self._tester.test_devices(device_ids))
-        return DevicePopulation(results=results, ground_truth=ground_truth)
+            passing_ids = [self._next_device_id()
+                           for _ in range(passing_count)]
+            passing_store = self._tester.test_devices_store(passing_ids)
+            if metadata is None:
+                metadata = passing_store
+                values, passed = passing_store.values, passing_store.passed
+                device_ids = [str(device_id)
+                              for device_id in passing_store.device_ids]
+            else:
+                values = np.hstack([values, passing_store.values])
+                passed = np.hstack([passed, passing_store.passed])
+                device_ids.extend(str(device_id)
+                                  for device_id in passing_store.device_ids)
+        combined = DeviceResultStore(
+            device_ids, values, passed, metadata.test_numbers,
+            metadata.test_names, metadata.blocks, metadata.lowers,
+            metadata.uppers, metadata.conditions,
+            np.arange(len(faults_by_slot), dtype=np.int64),
+            [fault.block for fault in faults_by_slot],
+            [fault.mode.value for fault in faults_by_slot],
+            [fault.severity for fault in faults_by_slot])
+        return DevicePopulation(store=combined, ground_truth=ground_truth)
 
     def generate_for_fault(self, fault: BlockFault, count: int) -> DevicePopulation:
         """Generate ``count`` devices that all carry the same fault.

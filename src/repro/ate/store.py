@@ -1,0 +1,342 @@
+"""Columnar device-population store.
+
+The paper's Dlog2BBN flow consumes "no-stop on fail" ATE datalogs from a
+large defective-device population.  At that scale, one Python
+``Measurement`` object per executed specification test is the dominant cost
+of the training half of the pipeline (BENCH_2), so this module stores a
+population the way the batched tester produces it: as ``(tests, devices)``
+value/verdict planes plus a small per-test metadata table, with the injected
+ground-truth faults in ragged parallel arrays.
+
+The store is the array-native interchange format between the ATE layer and
+the learning layer:
+
+* :meth:`ATETester.test_devices_store <repro.ate.tester.ATETester.test_devices_store>`
+  fills the planes directly from the batched simulator output, without
+  materialising row objects;
+* :meth:`DeviceResultStore.to_results` / :meth:`DeviceResultStore.from_results`
+  convert to/from the per-device row objects, bit-for-bit;
+* :meth:`DeviceResultStore.save` / :meth:`DeviceResultStore.load` persist the
+  planes as ``.npy`` files that can be memory-mapped, so ATE-scale datalogs
+  stream from disk without per-record Python objects;
+* :meth:`CaseGenerator.case_matrix <repro.core.case_generation.CaseGenerator.case_matrix>`
+  discretises the planes straight into an integer case matrix for the
+  batched estimators.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.ate.datalog import DatalogRecord, DeviceDatalog
+from repro.ate.tester import DeviceResult, Measurement
+from repro.circuits.faults import BlockFault, FaultMode
+from repro.exceptions import ATEError
+
+_META_FILE = "meta.json"
+_ARRAY_FILES = ("values", "passed", "device_ids",
+                "fault_index", "fault_blocks", "fault_modes",
+                "fault_severities")
+
+
+class DeviceResultStore:
+    """A device population as ``(tests, devices)`` planes.
+
+    Parameters
+    ----------
+    device_ids:
+        One identifier per device (the columns of the planes).
+    values / passed:
+        ``(tests, devices)`` measured values and pass/fail verdicts.
+    test_numbers / test_names / blocks / lowers / uppers / conditions:
+        Per-test metadata (the rows of the planes), shared by every device:
+        test identity, the measured block, the specification limits and the
+        forced conditions.
+    fault_index / fault_blocks / fault_modes / fault_severities:
+        Ragged ground-truth fault encoding: entry ``k`` says device column
+        ``fault_index[k]`` carries ``BlockFault(fault_blocks[k],
+        fault_modes[k], fault_severities[k])``.  Entries are ordered by
+        device, then by fault-map insertion order, so per-device fault dicts
+        round-trip exactly.
+    """
+
+    def __init__(self, device_ids: Sequence[str],
+                 values: np.ndarray, passed: np.ndarray,
+                 test_numbers: Sequence[int], test_names: Sequence[str],
+                 blocks: Sequence[str], lowers: Sequence[float],
+                 uppers: Sequence[float],
+                 conditions: Sequence[Mapping[str, float]],
+                 fault_index: np.ndarray | Sequence[int] = (),
+                 fault_blocks: Sequence[str] = (),
+                 fault_modes: Sequence[str] = (),
+                 fault_severities: np.ndarray | Sequence[float] = ()) -> None:
+        self.device_ids = np.asarray(device_ids, dtype=np.str_)
+        self.values = np.asarray(values, dtype=float)
+        self.passed = np.asarray(passed, dtype=bool)
+        self.test_numbers = np.asarray(test_numbers, dtype=np.int64)
+        self.test_names = [str(name) for name in test_names]
+        self.blocks = [str(block) for block in blocks]
+        self.lowers = np.asarray(lowers, dtype=float)
+        self.uppers = np.asarray(uppers, dtype=float)
+        self.conditions = [dict(mapping) for mapping in conditions]
+        self.fault_index = np.asarray(fault_index, dtype=np.int64)
+        self.fault_blocks = np.asarray(fault_blocks, dtype=np.str_)
+        self.fault_modes = np.asarray(fault_modes, dtype=np.str_)
+        self.fault_severities = np.asarray(fault_severities, dtype=float)
+        tests, devices = self.values.shape if self.values.ndim == 2 else (-1, -1)
+        if self.values.ndim != 2 or self.passed.shape != (tests, devices):
+            raise ATEError(
+                "store planes must be (tests, devices) arrays of equal shape")
+        if len(self.device_ids) != devices:
+            raise ATEError(
+                f"store has {devices} device columns but "
+                f"{len(self.device_ids)} device ids")
+        for name, row in (("test_numbers", self.test_numbers),
+                          ("test_names", self.test_names),
+                          ("blocks", self.blocks),
+                          ("lowers", self.lowers),
+                          ("uppers", self.uppers),
+                          ("conditions", self.conditions)):
+            if len(row) != tests:
+                raise ATEError(
+                    f"store has {tests} test rows but {len(row)} {name}")
+        faults = len(self.fault_index)
+        if not (len(self.fault_blocks) == len(self.fault_modes)
+                == len(self.fault_severities) == faults):
+            raise ATEError("store fault arrays must have equal length")
+        if faults and devices >= 0:
+            if self.fault_index.min() < 0 or self.fault_index.max() >= devices:
+                raise ATEError("store fault_index out of device range")
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def test_count(self) -> int:
+        """Number of specification tests (plane rows)."""
+        return self.values.shape[0]
+
+    @property
+    def device_count(self) -> int:
+        """Number of devices (plane columns)."""
+        return self.values.shape[1]
+
+    def __len__(self) -> int:
+        return self.device_count
+
+    # ---------------------------------------------------------------- queries
+    def failed_mask(self) -> np.ndarray:
+        """Boolean ``(devices,)`` mask of devices failing at least one test."""
+        return ~self.passed.all(axis=0)
+
+    def faults_for(self, device: int) -> dict[str, BlockFault]:
+        """Return the injected fault map of device column ``device``."""
+        faults: dict[str, BlockFault] = {}
+        for k in np.flatnonzero(self.fault_index == device):
+            block = str(self.fault_blocks[k])
+            faults[block] = BlockFault(block, FaultMode(str(self.fault_modes[k])),
+                                       float(self.fault_severities[k]))
+        return faults
+
+    def select(self, devices: np.ndarray | Sequence[int]) -> "DeviceResultStore":
+        """Return a new store holding only the selected device columns.
+
+        ``devices`` is a boolean mask or an integer index array over the
+        device columns.
+        """
+        devices = np.asarray(devices)
+        if devices.dtype == bool:
+            devices = np.flatnonzero(devices)
+        remap = np.full(self.device_count, -1, dtype=np.int64)
+        remap[devices] = np.arange(len(devices))
+        keep = np.flatnonzero(remap[self.fault_index] >= 0) \
+            if len(self.fault_index) else np.empty(0, dtype=np.int64)
+        return DeviceResultStore(
+            self.device_ids[devices], self.values[:, devices],
+            self.passed[:, devices], self.test_numbers, self.test_names,
+            self.blocks, self.lowers, self.uppers, self.conditions,
+            remap[self.fault_index[keep]], self.fault_blocks[keep],
+            self.fault_modes[keep], self.fault_severities[keep])
+
+    # ------------------------------------------------------------ row objects
+    @classmethod
+    def from_results(cls, results: Sequence[DeviceResult]) -> "DeviceResultStore":
+        """Build a store from per-device row objects.
+
+        Every device must have executed the same program (same test
+        identity, limits and conditions in the same order) — the invariant
+        the batched tester guarantees and the case generator's program
+        signature grouping checks per group.
+        """
+        results = list(results)
+        if not results:
+            raise ATEError("cannot build a store from an empty result list")
+        first = results[0].measurements
+        signature = [(m.test_number, m.test_name, m.block, m.lower, m.upper,
+                      tuple(sorted(m.conditions.items()))) for m in first]
+        tests, devices = len(first), len(results)
+        values = np.empty((tests, devices), dtype=float)
+        passed = np.empty((tests, devices), dtype=bool)
+        fault_index: list[int] = []
+        fault_blocks: list[str] = []
+        fault_modes: list[str] = []
+        fault_severities: list[float] = []
+        for column, result in enumerate(results):
+            rows = result.measurements
+            if [(m.test_number, m.test_name, m.block, m.lower, m.upper,
+                 tuple(sorted(m.conditions.items()))) for m in rows] != signature:
+                raise ATEError(
+                    f"device {result.device_id!r} ran a different test program "
+                    f"than device {results[0].device_id!r}; a columnar store "
+                    "requires a homogeneous population")
+            values[:, column] = [m.value for m in rows]
+            passed[:, column] = [m.passed for m in rows]
+            for fault in result.faults.values():
+                fault_index.append(column)
+                fault_blocks.append(fault.block)
+                fault_modes.append(fault.mode.value)
+                fault_severities.append(fault.severity)
+        return cls([result.device_id for result in results], values, passed,
+                   [m.test_number for m in first], [m.test_name for m in first],
+                   [m.block for m in first], [m.lower for m in first],
+                   [m.upper for m in first],
+                   [dict(m.conditions) for m in first],
+                   fault_index, fault_blocks, fault_modes, fault_severities)
+
+    def to_results(self) -> list[DeviceResult]:
+        """Materialise per-device row objects from the planes.
+
+        One shared (read-only) conditions dict per test keeps row
+        materialisation cheap and preserves the identity-keyed condition
+        label cache in the case generator.
+        """
+        tests, devices = self.values.shape
+        numbers = [int(n) for n in self.test_numbers]
+        lowers = [float(v) for v in self.lowers]
+        uppers = [float(v) for v in self.uppers]
+        conditions = [dict(mapping) for mapping in self.conditions]
+        value_rows = self.values.tolist()
+        passed_rows = self.passed.tolist()
+        fault_dicts: list[dict[str, BlockFault]] = [{} for _ in range(devices)]
+        for k in range(len(self.fault_index)):
+            block = str(self.fault_blocks[k])
+            fault_dicts[int(self.fault_index[k])][block] = BlockFault(
+                block, FaultMode(str(self.fault_modes[k])),
+                float(self.fault_severities[k]))
+        results = [DeviceResult(device_id=str(device_id), measurements=[],
+                                faults=fault_dicts[column])
+                   for column, device_id in enumerate(self.device_ids)]
+        for row in range(tests):
+            number, name = numbers[row], self.test_names[row]
+            block, shared = self.blocks[row], conditions[row]
+            lower, upper = lowers[row], uppers[row]
+            row_values, row_passed = value_rows[row], passed_rows[row]
+            for column in range(devices):
+                results[column].measurements.append(Measurement(
+                    test_number=number, test_name=name, block=block,
+                    value=row_values[column], lower=lower, upper=upper,
+                    passed=row_passed[column], conditions=shared))
+        return results
+
+    def to_datalogs(self) -> list[DeviceDatalog]:
+        """Convert the store into ASCII-serialisable device datalogs."""
+        datalogs = []
+        for column, result in enumerate(self.to_results()):
+            datalogs.append(result.to_datalog())
+        return datalogs
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: str | Path) -> Path:
+        """Save the store as a directory of ``.npy`` planes plus metadata.
+
+        The value/verdict planes (the only arrays that grow with the
+        population) are stored as plain ``.npy`` files so :meth:`load` can
+        memory-map them.
+        """
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        arrays = {"values": self.values, "passed": self.passed,
+                  "device_ids": self.device_ids,
+                  "fault_index": self.fault_index,
+                  "fault_blocks": self.fault_blocks,
+                  "fault_modes": self.fault_modes,
+                  "fault_severities": self.fault_severities}
+        for name, array in arrays.items():
+            np.save(path / f"{name}.npy", array, allow_pickle=False)
+        meta = {"format": 1,
+                "test_numbers": [int(n) for n in self.test_numbers],
+                "test_names": self.test_names,
+                "blocks": self.blocks,
+                "lowers": [float(v) for v in self.lowers],
+                "uppers": [float(v) for v in self.uppers],
+                "conditions": [{block: float(value)
+                                for block, value in mapping.items()}
+                               for mapping in self.conditions]}
+        (path / _META_FILE).write_text(json.dumps(meta), encoding="ascii")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path, *, mmap: bool = True) -> "DeviceResultStore":
+        """Load a store saved by :meth:`save`.
+
+        With ``mmap=True`` (default) the planes are memory-mapped read-only,
+        so opening an ATE-scale population costs O(metadata) — pages stream
+        in as the estimators touch them.
+        """
+        path = Path(path)
+        meta_path = path / _META_FILE
+        if not meta_path.exists():
+            raise ATEError(f"no columnar store at {path} (missing {_META_FILE})")
+        meta = json.loads(meta_path.read_text(encoding="ascii"))
+        if meta.get("format") != 1:
+            raise ATEError(
+                f"unsupported columnar store format {meta.get('format')!r}")
+        mode = "r" if mmap else None
+        arrays = {}
+        for name in _ARRAY_FILES:
+            file = path / f"{name}.npy"
+            if not file.exists():
+                raise ATEError(f"columnar store at {path} is missing {name}.npy")
+            arrays[name] = np.load(file, mmap_mode=mode, allow_pickle=False)
+        return cls(arrays["device_ids"], arrays["values"], arrays["passed"],
+                   meta["test_numbers"], meta["test_names"], meta["blocks"],
+                   meta["lowers"], meta["uppers"], meta["conditions"],
+                   arrays["fault_index"], arrays["fault_blocks"],
+                   arrays["fault_modes"], arrays["fault_severities"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DeviceResultStore(tests={self.test_count}, "
+                f"devices={self.device_count}, faults={len(self.fault_index)})")
+
+
+def store_from_datalogs(datalogs: Sequence[DeviceDatalog]) -> DeviceResultStore:
+    """Build a columnar store from parsed per-device datalogs.
+
+    The ground-truth ``injected_faults`` metadata written by
+    :meth:`DeviceResult.to_datalog` is decoded back into fault entries
+    (severity is not serialised by the label format and defaults to 1.0).
+    """
+    if not datalogs:
+        raise ATEError("cannot build a store from an empty datalog list")
+    results = []
+    for datalog in datalogs:
+        faults: dict[str, BlockFault] = {}
+        labels = datalog.metadata.get("injected_faults", "")
+        if labels:
+            for label in labels.split(","):
+                block, _, mode = label.partition(":")
+                if not block or not mode:
+                    raise ATEError(
+                        f"malformed injected_faults label {label!r} for "
+                        f"device {datalog.device_id!r}")
+                faults[block] = BlockFault(block, FaultMode(mode))
+        measurements = [Measurement(
+            test_number=record.test_number, test_name=record.test_name,
+            block=record.block, value=record.value, lower=record.lower,
+            upper=record.upper, passed=record.passed,
+            conditions=dict(record.conditions)) for record in datalog.records]
+        results.append(DeviceResult(device_id=datalog.device_id,
+                                    measurements=measurements, faults=faults))
+    return DeviceResultStore.from_results(results)

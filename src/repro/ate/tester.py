@@ -12,6 +12,8 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Mapping, Sequence
 
+import numpy as np
+
 from repro.ate.datalog import DatalogRecord, DeviceDatalog
 from repro.ate.test_program import TestProgram
 from repro.circuits.behavioral import BehavioralSimulator
@@ -176,10 +178,33 @@ class ATETester:
             raise ATEError(
                 "test_devices requires a no-stop-on-fail program; batch "
                 "testing always measures every specification test")
+        if len(device_ids) == 0:
+            return []
+        return self.test_devices_store(
+            device_ids, faults_per_device, device_multipliers).to_results()
+
+    def test_devices_store(self, device_ids: Sequence[str],
+                           faults_per_device: Sequence[Mapping[str, BlockFault] | None] | None = None,
+                           device_multipliers=None):
+        """Batch-test a population into a columnar :class:`DeviceResultStore`.
+
+        The ``(tests, devices)`` value/verdict planes are gathered directly
+        from the batched simulator's voltage array — no per-measurement
+        Python objects are created, so this is the entry point for
+        ATE-scale training populations.  :meth:`test_devices` is this plus
+        :meth:`DeviceResultStore.to_results`.
+        """
+        # Imported here: repro.ate.store needs the row classes defined above.
+        from repro.ate.store import DeviceResultStore
+
+        if self.stop_on_fail:
+            raise ATEError(
+                "test_devices requires a no-stop-on-fail program; batch "
+                "testing always measures every specification test")
         device_ids = list(device_ids)
         count = len(device_ids)
         if count == 0:
-            return []
+            raise ATEError("cannot build a store for an empty device list")
         if faults_per_device is None:
             fault_maps: list[dict[str, BlockFault]] = [{} for _ in device_ids]
         else:
@@ -194,22 +219,26 @@ class ATETester:
         tests = self.program.tests
         voltages = self.simulator.run_program(
             [test.conditions for test in tests], fault_maps, multipliers)
-        results = [DeviceResult(device_id=device_id, measurements=[],
-                                faults=fault_maps[index])
-                   for index, device_id in enumerate(device_ids)]
         column = self.simulator.plan.column
-        for index, test in enumerate(tests):
-            values = voltages[index, :, column[test.measured_block]]
-            lower, upper = test.limit.lower, test.limit.upper
-            passed = (values >= lower) & (values <= upper)
-            # One shared (read-only) conditions mapping per test keeps the
-            # row materialisation cheap; Measurement is frozen and nothing
-            # downstream mutates its conditions.
-            conditions = dict(test.conditions)
-            number, name, block = test.number, test.name, test.measured_block
-            for device in range(count):
-                results[device].measurements.append(Measurement(
-                    test_number=number, test_name=name, block=block,
-                    value=float(values[device]), lower=lower, upper=upper,
-                    passed=bool(passed[device]), conditions=conditions))
-        return results
+        columns = np.array([column[test.measured_block] for test in tests])
+        # values[t, d] = voltages[t, d, columns[t]] in one gather.
+        values = voltages[np.arange(len(tests)), :, columns]
+        lowers = np.array([test.limit.lower for test in tests])
+        uppers = np.array([test.limit.upper for test in tests])
+        passed = (values >= lowers[:, None]) & (values <= uppers[:, None])
+        fault_index: list[int] = []
+        fault_blocks: list[str] = []
+        fault_modes: list[str] = []
+        fault_severities: list[float] = []
+        for device, faults in enumerate(fault_maps):
+            for fault in faults.values():
+                fault_index.append(device)
+                fault_blocks.append(fault.block)
+                fault_modes.append(fault.mode.value)
+                fault_severities.append(fault.severity)
+        return DeviceResultStore(
+            device_ids, values, passed,
+            [test.number for test in tests], [test.name for test in tests],
+            [test.measured_block for test in tests], lowers, uppers,
+            [dict(test.conditions) for test in tests],
+            fault_index, fault_blocks, fault_modes, fault_severities)

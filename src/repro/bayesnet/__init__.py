@@ -29,6 +29,7 @@ from repro.bayesnet.inference import (
     GibbsSampling,
 )
 from repro.bayesnet.learning import (
+    CaseMatrix,
     MaximumLikelihoodEstimator,
     BayesianEstimator,
     ExpectationMaximization,
@@ -44,6 +45,7 @@ __all__ = [
     "JunctionTree",
     "LikelihoodWeighting",
     "GibbsSampling",
+    "CaseMatrix",
     "MaximumLikelihoodEstimator",
     "BayesianEstimator",
     "ExpectationMaximization",

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
+import math
+
 import numpy as np
 
 from repro.bayesnet.factor import DiscreteFactor
@@ -56,7 +58,7 @@ class TabularCPD:
             raise CPDError(f"variable {variable!r} needs at least one state")
 
         array = np.asarray(table, dtype=float)
-        expected_cols = int(np.prod(parent_cardinalities)) if parents else 1
+        expected_cols = math.prod(parent_cardinalities) if parents else 1
         if array.ndim == 1:
             array = array.reshape(cardinality, 1)
         if array.shape != (cardinality, expected_cols):
@@ -89,6 +91,27 @@ class TabularCPD:
                     f"{len(states)} state names were supplied")
             self.state_names[name] = states
 
+    @classmethod
+    def _from_trusted(cls, variable: str, cardinality: int, table: np.ndarray,
+                      parents: list[str], parent_cardinalities: list[int],
+                      state_names: dict[str, list[str]]) -> "TabularCPD":
+        """Construct without validation.
+
+        Callers guarantee ``table`` is a float64 ``(cardinality, columns)``
+        array with normalised columns and that ``state_names`` is a complete
+        ``{variable and every parent: full name list}`` dict.  Used on the
+        estimator hot path, where every table is normalised by construction
+        and the ``np.allclose`` column check dominates fit time.
+        """
+        cpd = cls.__new__(cls)
+        cpd.variable = variable
+        cpd.cardinality = cardinality
+        cpd.parents = parents
+        cpd.parent_cardinalities = parent_cardinalities
+        cpd.table = table
+        cpd.state_names = state_names
+        return cpd
+
     # ----------------------------------------------------------------- export
     def to_factor(self) -> DiscreteFactor:
         """Return the CPD as a factor over ``[variable] + parents``."""
@@ -96,14 +119,19 @@ class TabularCPD:
         cardinalities = [self.cardinality] + self.parent_cardinalities
         # self.table is (child_card, prod(parent_cards)) with the last parent
         # varying fastest, which is exactly C-order over the parent axes.
+        # Everything a validated CPD holds is factor-valid, so skip the
+        # public constructor's re-checks (engines export factors per sweep).
         values = self.table.reshape(cardinalities)
-        return DiscreteFactor(variables, cardinalities, values, self.state_names)
+        return DiscreteFactor._from_parts(
+            variables, list(cardinalities), values,
+            {name: list(states) for name, states in self.state_names.items()})
 
     def copy(self) -> "TabularCPD":
         """Return an independent copy of the CPD."""
-        return TabularCPD(self.variable, self.cardinality, self.table.copy(),
-                          self.parents, self.parent_cardinalities,
-                          self.state_names)
+        return TabularCPD._from_trusted(
+            self.variable, self.cardinality, self.table.copy(),
+            list(self.parents), list(self.parent_cardinalities),
+            {name: list(states) for name, states in self.state_names.items()})
 
     # ---------------------------------------------------------------- queries
     def parent_configuration_index(self, assignment: Mapping[str, str | int]) -> int:
@@ -167,10 +195,24 @@ def uniform_cpd(variable: str, cardinality: int,
                 parent_cardinalities: Sequence[int] = (),
                 state_names: Mapping[str, Sequence[str]] | None = None) -> TabularCPD:
     """Return a CPD that is uniform over the child's states for every parent configuration."""
-    columns = int(np.prod(parent_cardinalities)) if parents else 1
+    if int(cardinality) < 1:
+        raise CPDError(f"variable {variable!r} needs at least one state")
+    parents = list(parents)
+    parent_cardinalities = [int(c) for c in parent_cardinalities]
+    columns = math.prod(parent_cardinalities) if parents else 1
     table = np.full((cardinality, columns), 1.0 / cardinality)
-    return TabularCPD(variable, cardinality, table, parents,
-                      parent_cardinalities, state_names)
+    names = dict(state_names or {})
+    resolved = {}
+    for name, card in zip([variable] + parents,
+                          [int(cardinality)] + parent_cardinalities):
+        states = list(names.get(name, [str(i) for i in range(card)]))
+        if len(states) != card:
+            raise CPDError(
+                f"variable {name!r} has {card} states but "
+                f"{len(states)} state names were supplied")
+        resolved[name] = states
+    return TabularCPD._from_trusted(variable, int(cardinality), table, parents,
+                                    parent_cardinalities, resolved)
 
 
 def random_cpd(variable: str, cardinality: int,
@@ -181,7 +223,7 @@ def random_cpd(variable: str, cardinality: int,
                concentration: float = 1.0) -> TabularCPD:
     """Return a CPD with columns drawn from a symmetric Dirichlet distribution."""
     rng = rng if rng is not None else np.random.default_rng()
-    columns = int(np.prod(parent_cardinalities)) if parents else 1
+    columns = math.prod(parent_cardinalities) if parents else 1
     table = rng.dirichlet([concentration] * cardinality, size=columns).T
     return TabularCPD(variable, cardinality, table, parents,
                       parent_cardinalities, state_names)

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
 
+import math
+
 import numpy as np
 
 from repro.exceptions import FactorError
@@ -67,7 +69,7 @@ class DiscreteFactor:
                 raise FactorError(
                     f"variable {variable!r} must have at least one state, got {card}")
         array = np.asarray(values, dtype=float)
-        expected = int(np.prod(cardinalities)) if variables else 1
+        expected = math.prod(cardinalities) if variables else 1
         if array.size != expected:
             raise FactorError(
                 f"values has {array.size} entries, expected {expected} "
@@ -357,14 +359,42 @@ def contract_factors(factors: Sequence[DiscreteFactor],
 
     subscript = {variable: i for i, variable in enumerate(order)}
     operands: list[object] = []
+    key_parts: list[tuple] = []
     for factor in factors:
+        labels = [subscript[v] for v in factor.variables]
         operands.append(factor.values)
-        operands.append([subscript[v] for v in factor.variables])
-    operands.append([subscript[v] for v in out_vars])
-    values = np.einsum(*operands, optimize=len(factors) > 2)
+        operands.append(labels)
+        key_parts.append((tuple(labels), factor.values.shape))
+    out_labels = [subscript[v] for v in out_vars]
+    operands.append(out_labels)
+    values = np.einsum(*operands,
+                       optimize=_contraction_path(key_parts, out_labels,
+                                                  operands)
+                       if len(factors) > 2 else False)
     return DiscreteFactor._from_parts(
         out_vars, [cards[v] for v in out_vars], values,
         {v: states[v] for v in out_vars})
+
+
+#: Memoised einsum contraction paths keyed by the operand subscript/shape
+#: structure.  ``np.einsum(optimize=True)`` re-runs the path optimiser on
+#: every call; the inference sweeps issue the same handful of contraction
+#: shapes thousands of times per population, so the path is computed once
+#: and replayed.
+_PATH_CACHE: dict[tuple, list] = {}
+_PATH_CACHE_LIMIT = 4096
+
+
+def _contraction_path(key_parts: list[tuple], out_labels: list[int],
+                      operands: list[object]) -> list:
+    key = (tuple(key_parts), tuple(out_labels))
+    path = _PATH_CACHE.get(key)
+    if path is None:
+        path = np.einsum_path(*operands, optimize=True)[0]
+        if len(_PATH_CACHE) >= _PATH_CACHE_LIMIT:
+            _PATH_CACHE.clear()
+        _PATH_CACHE[key] = path
+    return path
 
 
 def _broadcast_product(left: DiscreteFactor, right: DiscreteFactor) -> DiscreteFactor:

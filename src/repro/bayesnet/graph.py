@@ -278,10 +278,17 @@ class DirectedGraph:
 
     # ---------------------------------------------------------------- utility
     def copy(self) -> "DirectedGraph":
-        """Return an independent copy of the graph."""
-        clone = DirectedGraph(nodes=self.nodes)
-        for parent, child in self.edges:
-            clone.add_edge(parent, child)
+        """Return an independent copy of the graph.
+
+        Copies the adjacency directly instead of replaying :meth:`add_edge`:
+        the source graph is already acyclic, so re-running the per-edge
+        reachability check would only redo work.
+        """
+        clone = DirectedGraph.__new__(DirectedGraph)
+        clone._parents = {node: list(parents)
+                          for node, parents in self._parents.items()}
+        clone._children = {node: list(children)
+                           for node, children in self._children.items()}
         return clone
 
     def subgraph(self, nodes: Iterable[Node]) -> "DirectedGraph":

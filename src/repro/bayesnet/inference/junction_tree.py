@@ -48,7 +48,8 @@ class _Clique:
 class _Calibration:
     """One calibrated state of the tree: potentials, P(e) and marginal memo."""
 
-    __slots__ = ("evidence", "potentials", "probability", "marginals")
+    __slots__ = ("evidence", "potentials", "probability", "marginals",
+                 "distributions")
 
     def __init__(self, evidence: dict, potentials: list[DiscreteFactor],
                  probability: float) -> None:
@@ -56,6 +57,10 @@ class _Calibration:
         self.potentials = potentials
         self.probability = probability
         self.marginals: dict[str, DiscreteFactor] = {}
+        #: ``{state: probability}`` dicts memoised per variable, so repeated
+        #: single-marginal queries on an unchanged calibration skip both the
+        #: marginalisation and the dict construction.
+        self.distributions: dict[str, dict[str, float]] = {}
 
 
 class JunctionTree:
@@ -335,6 +340,16 @@ class JunctionTree:
         calibration.marginals[variable] = marginal
         return marginal
 
+    def _distribution(self, variable: str,
+                      calibration: _Calibration) -> dict[str, float]:
+        """Return the memoised ``{state: probability}`` dict of a marginal."""
+        cached = calibration.distributions.get(variable)
+        if cached is None:
+            cached = self._marginal(variable, calibration).to_distribution()
+            calibration.distributions[variable] = cached
+        # Hand out copies: callers may mutate the posterior dicts.
+        return dict(cached)
+
     # ------------------------------------------------------------------ query
     def query(self, variables: Sequence[str],
               evidence: Evidence | None = None) -> DiscreteFactor:
@@ -380,7 +395,7 @@ class JunctionTree:
             raise InferenceError(
                 f"variable {variable!r} appears both as query and evidence")
         calibration = self._ensure_calibrated(evidence)
-        return self._marginal(variable, calibration).to_distribution()
+        return self._distribution(variable, calibration)
 
     def posteriors(self, variables: Iterable[str],
                    evidence: Evidence | None = None) -> dict[str, dict[str, float]]:
@@ -394,7 +409,7 @@ class JunctionTree:
                 raise InferenceError(
                     f"variable {variable!r} appears both as query and evidence")
         calibration = self._ensure_calibrated(evidence)
-        return {variable: self._marginal(variable, calibration).to_distribution()
+        return {variable: self._distribution(variable, calibration)
                 for variable in variables}
 
     def map_query(self, variables: Sequence[str],

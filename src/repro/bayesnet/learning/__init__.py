@@ -14,14 +14,18 @@ learning algorithm.  This subpackage implements:
   always partial).
 * :func:`bic_score`, :func:`bdeu_score` — structure scores used by the
   optional greedy structure-search extension.
+* :class:`CaseMatrix` — integer-encoded case rows; the array-native input
+  the estimators count with ``np.bincount`` instead of per-case loops.
 """
 
+from repro.bayesnet.learning.case_matrix import CaseMatrix
 from repro.bayesnet.learning.mle import MaximumLikelihoodEstimator
 from repro.bayesnet.learning.bayesian_estimator import BayesianEstimator
 from repro.bayesnet.learning.em import ExpectationMaximization
 from repro.bayesnet.learning.structure_scores import bic_score, bdeu_score
 
 __all__ = [
+    "CaseMatrix",
     "MaximumLikelihoodEstimator",
     "BayesianEstimator",
     "ExpectationMaximization",

@@ -14,9 +14,12 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
+import math
+
 import numpy as np
 
 from repro.bayesnet.cpd import TabularCPD
+from repro.bayesnet.learning.case_matrix import CaseMatrix
 from repro.bayesnet.learning.mle import MaximumLikelihoodEstimator, resolve_schema
 from repro.bayesnet.network import BayesianNetwork
 from repro.exceptions import LearningError
@@ -60,7 +63,7 @@ class BayesianEstimator:
         parents = self.structure.parents(node)
         child_card = self._cardinalities[node]
         parent_cards = [self._cardinalities[p] for p in parents]
-        columns = int(np.prod(parent_cards)) if parents else 1
+        columns = math.prod(parent_cards) if parents else 1
         per_column = self.equivalent_sample_size / columns
         if self.prior_network is None:
             return np.full((child_card, columns), per_column / child_card)
@@ -71,7 +74,8 @@ class BayesianEstimator:
                 f"expected {(child_card, columns)}")
         return prior_cpd.table * per_column
 
-    def estimate_cpd(self, cases: Sequence[Case], node: str) -> TabularCPD:
+    def estimate_cpd(self, cases: Sequence[Case] | CaseMatrix,
+                     node: str) -> TabularCPD:
         """Return the MAP CPD of ``node`` under the Dirichlet prior."""
         parents = self.structure.parents(node)
         counts = self._mle.state_counts(cases, node)
@@ -80,15 +84,19 @@ class BayesianEstimator:
         table = posterior / posterior.sum(axis=0, keepdims=True)
         names = {node: self._state_names[node]}
         names.update({p: self._state_names[p] for p in parents})
-        return TabularCPD(node, self._cardinalities[node], table, parents,
-                          [self._cardinalities[p] for p in parents], names)
+        # The Dirichlet posterior columns are normalised by construction.
+        return TabularCPD._from_trusted(
+            node, self._cardinalities[node], table, list(parents),
+            [self._cardinalities[p] for p in parents], names)
 
-    def fit(self, cases: Sequence[Case]) -> BayesianNetwork:
+    def fit(self, cases: Sequence[Case] | CaseMatrix) -> BayesianNetwork:
         """Return a network with MAP CPDs learned from ``cases``."""
+        if not isinstance(cases, (CaseMatrix, list)):
+            cases = list(cases)
         learned = BayesianNetwork(nodes=self.structure.nodes)
         for parent, child in self.structure.edges:
             learned.add_edge(parent, child)
         for node in learned.nodes:
-            learned.add_cpd(self.estimate_cpd(list(cases), node))
+            learned.add_cpd(self.estimate_cpd(cases, node))
         learned.check_model()
         return learned

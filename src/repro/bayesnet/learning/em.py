@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.bayesnet.cpd import TabularCPD
 from repro.bayesnet.inference.variable_elimination import VariableElimination
+from repro.bayesnet.learning.case_matrix import CaseMatrix
 from repro.bayesnet.learning.mle import resolve_schema, state_index
 from repro.bayesnet.network import BayesianNetwork
 from repro.exceptions import LearningError
@@ -91,20 +92,23 @@ class ExpectationMaximization:
         # same response pattern); group them and weight each unique evidence
         # configuration by its multiplicity so the E step runs once per
         # distinct configuration instead of once per case.
-        grouped: dict[tuple, tuple[dict[str, int], int]] = {}
-        for case in cases:
-            evidence = {}
-            for variable, value in case.items():
-                if variable not in network.graph:
-                    continue
-                index = state_index(value, variable, self._state_names)
-                if index is not None:
-                    evidence[variable] = index
-            key = tuple(sorted(evidence.items()))
-            if key in grouped:
-                grouped[key] = (grouped[key][0], grouped[key][1] + 1)
-            else:
-                grouped[key] = (evidence, 1)
+        if isinstance(cases, CaseMatrix):
+            grouped = self._group_matrix(network, cases)
+        else:
+            grouped = {}
+            for case in cases:
+                evidence = {}
+                for variable, value in case.items():
+                    if variable not in network.graph:
+                        continue
+                    index = state_index(value, variable, self._state_names)
+                    if index is not None:
+                        evidence[variable] = index
+                key = tuple(sorted(evidence.items()))
+                if key in grouped:
+                    grouped[key] = (grouped[key][0], grouped[key][1] + 1)
+                else:
+                    grouped[key] = (evidence, 1)
 
         log_likelihood = 0.0
         for evidence, multiplicity in grouped.values():
@@ -129,6 +133,33 @@ class ExpectationMaximization:
                     weight=multiplicity)
         self.log_likelihood_trace.append(log_likelihood)
         return counts
+
+    def _group_matrix(self, network: BayesianNetwork, matrix: CaseMatrix
+                      ) -> dict[tuple, tuple[dict[str, int], int]]:
+        """Group the rows of a case matrix by unique evidence configuration.
+
+        One ``np.unique`` over the schema-aligned code rows replaces the
+        per-case dict building of the row path; the resulting evidence
+        dicts (variable -> state index, missing codes dropped) are identical
+        to those the row path would produce.
+        """
+        variables = [v for v in matrix.variables if v in network.graph]
+        if not variables:
+            return {(): ({}, len(matrix))} if len(matrix) else {}
+        aligned = np.stack([matrix.encode_for(v, self._state_names[v])
+                            for v in variables], axis=1)
+        rows, counts = np.unique(aligned, axis=0, return_counts=True)
+        grouped: dict[tuple, tuple[dict[str, int], int]] = {}
+        for row, multiplicity in zip(rows, counts):
+            evidence = {variable: int(code)
+                        for variable, code in zip(variables, row) if code >= 0}
+            key = tuple(sorted(evidence.items()))
+            if key in grouped:
+                grouped[key] = (grouped[key][0],
+                                grouped[key][1] + int(multiplicity))
+            else:
+                grouped[key] = (evidence, int(multiplicity))
+        return grouped
 
     def _accumulate_family_counts(self, counts: np.ndarray, node: str,
                                   parents: list[str], parent_cards: list[int],
@@ -189,10 +220,11 @@ class ExpectationMaximization:
         return learned
 
     # -------------------------------------------------------------------- fit
-    def fit(self, cases: Sequence[Case]) -> BayesianNetwork:
+    def fit(self, cases: Sequence[Case] | CaseMatrix) -> BayesianNetwork:
         """Run EM on ``cases`` and return the learned network."""
-        cases = list(cases)
-        if not cases:
+        if not isinstance(cases, CaseMatrix):
+            cases = list(cases)
+        if len(cases) == 0:
             raise LearningError("cannot run EM on an empty case list")
         current = self._initial.copy()
         self.log_likelihood_trace = []

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import math
 from collections.abc import Mapping, Sequence
 
 import numpy as np
 
 from repro.bayesnet.cpd import TabularCPD
+from repro.bayesnet.learning.case_matrix import CaseMatrix
 from repro.bayesnet.network import BayesianNetwork
 from repro.exceptions import LearningError
 
@@ -34,12 +36,42 @@ class MaximumLikelihoodEstimator:
             structure, cardinalities, state_names)
 
     # ----------------------------------------------------------------- fitting
-    def state_counts(self, cases: Sequence[Case], node: str) -> np.ndarray:
-        """Return the (child_card, parent_configs) count matrix for ``node``."""
+    def state_counts(self, cases: Sequence[Case] | CaseMatrix,
+                     node: str) -> np.ndarray:
+        """Return the (child_card, parent_configs) count matrix for ``node``.
+
+        ``cases`` may be dict-based rows or a :class:`CaseMatrix`; the matrix
+        path counts the whole population in one ``np.bincount`` pass over
+        ravelled (child, parent-configuration) indices and is pinned to the
+        row path by the columnar equivalence suite.
+        """
         parents = self.structure.parents(node)
         child_card = self._cardinalities[node]
         parent_cards = [self._cardinalities[p] for p in parents]
-        columns = int(np.prod(parent_cards)) if parents else 1
+        columns = math.prod(parent_cards) if parents else 1
+        if isinstance(cases, CaseMatrix):
+            # Counts are a pure function of (matrix, node, schema), and the
+            # ablation/serving pattern fits several priors against the same
+            # population — memoise on the matrix.  Callers must not mutate
+            # the returned array (both estimators derive fresh tables).
+            key = (node, tuple(parents), tuple(self._state_names[node]),
+                   tuple(tuple(self._state_names[p]) for p in parents))
+            cache = cases.__dict__.setdefault("_state_counts_cache", {})
+            counts = cache.get(key)
+            if counts is not None:
+                return counts
+            child = cases.encode_for(node, self._state_names[node])
+            valid = child >= 0
+            column = np.zeros(len(cases), dtype=np.int64)
+            for parent, card in zip(parents, parent_cards):
+                codes = cases.encode_for(parent, self._state_names[parent])
+                valid &= codes >= 0
+                column = column * card + np.where(codes >= 0, codes, 0)
+            flat = child[valid].astype(np.int64) * columns + column[valid]
+            counts = np.bincount(flat, minlength=child_card * columns) \
+                .reshape(child_card, columns).astype(float)
+            cache[key] = counts
+            return counts
         counts = np.zeros((child_card, columns), dtype=float)
         for case in cases:
             row = state_index(case.get(node), node, self._state_names)
@@ -58,25 +90,25 @@ class MaximumLikelihoodEstimator:
             counts[row, column] += 1.0
         return counts
 
-    def estimate_cpd(self, cases: Sequence[Case], node: str) -> TabularCPD:
+    def estimate_cpd(self, cases: Sequence[Case] | CaseMatrix,
+                     node: str) -> TabularCPD:
         """Return the MLE CPD of ``node`` (uniform where a configuration was never seen)."""
         parents = self.structure.parents(node)
         counts = self.state_counts(cases, node)
         column_sums = counts.sum(axis=0)
-        table = np.empty_like(counts)
-        for column, total in enumerate(column_sums):
-            if total > 0:
-                table[:, column] = counts[:, column] / total
-            else:
-                table[:, column] = 1.0 / counts.shape[0]
+        table = np.where(column_sums > 0,
+                         counts / np.where(column_sums > 0, column_sums, 1.0),
+                         1.0 / counts.shape[0])
         names = {node: self._state_names[node]}
         names.update({p: self._state_names[p] for p in parents})
-        return TabularCPD(node, self._cardinalities[node], table, parents,
-                          [self._cardinalities[p] for p in parents], names)
+        # Columns are normalised by construction; skip re-validation.
+        return TabularCPD._from_trusted(
+            node, self._cardinalities[node], table, list(parents),
+            [self._cardinalities[p] for p in parents], names)
 
-    def fit(self, cases: Sequence[Case]) -> BayesianNetwork:
+    def fit(self, cases: Sequence[Case] | CaseMatrix) -> BayesianNetwork:
         """Return a copy of the structure with MLE CPDs learned from ``cases``."""
-        if not cases:
+        if len(cases) == 0:
             raise LearningError("cannot learn parameters from an empty case list")
         learned = BayesianNetwork(nodes=self.structure.nodes)
         for parent, child in self.structure.edges:

@@ -34,6 +34,11 @@ class BayesianNetwork:
                  nodes: Iterable[str] | None = None) -> None:
         self.graph = DirectedGraph(edges=edges, nodes=nodes)
         self._cpds: dict[str, TabularCPD] = {}
+        #: Monotonic counter bumped on every CPD attachment/replacement.
+        #: Caches compare it to detect parameter updates in O(1) instead of
+        #: walking the CPD objects (in-place table mutation stays
+        #: undetectable, as before).
+        self.cpd_version: int = 0
 
     # ----------------------------------------------------------------- graph
     @property
@@ -77,6 +82,7 @@ class BayesianNetwork:
                 f"CPD for {cpd.variable!r} lists parents {cpd.parents} but the "
                 f"graph has parents {graph_parents}")
         self._cpds[cpd.variable] = cpd
+        self.cpd_version += 1
 
     def add_cpds(self, *cpds: TabularCPD) -> None:
         """Attach several CPDs at once."""
@@ -109,7 +115,15 @@ class BayesianNetwork:
         Consistency means: a CPD exists for every node, its parent list
         matches the graph, and the cardinalities/state names used for a
         variable agree across every CPD that mentions it.
+
+        A passing validation is memoised against :attr:`cpd_version`, so the
+        many layers that defensively re-check (learning, builders, every
+        inference-engine constructor) pay for one walk per parameter change,
+        not one per call.  In-place table mutation stays undetectable, as
+        with every ``cpd_version``-keyed cache.
         """
+        if self.__dict__.get("_checked_version") == self.cpd_version:
+            return True
         seen_cards: dict[str, int] = {}
         seen_states: dict[str, list[str]] = {}
         for node in self.graph.nodes:
@@ -134,6 +148,7 @@ class BayesianNetwork:
                     raise NetworkError(
                         f"variable {name!r} has inconsistent state names")
                 seen_states[name] = states
+        self.__dict__["_checked_version"] = self.cpd_version
         return True
 
     # ------------------------------------------------------------- factorised
@@ -163,12 +178,16 @@ class BayesianNetwork:
 
     # ---------------------------------------------------------------- utility
     def copy(self) -> "BayesianNetwork":
-        """Return an independent copy of the network (structure and CPDs)."""
-        clone = BayesianNetwork(nodes=self.graph.nodes)
-        for parent, child in self.graph.edges:
-            clone.add_edge(parent, child)
-        for cpd in self._cpds.values():
-            clone.add_cpd(cpd.copy())
+        """Return an independent copy of the network (structure and CPDs).
+
+        Copies the attachments directly: the source's CPDs already passed
+        :meth:`add_cpd`'s parent check against the same structure, so
+        replaying it per CPD would only redo work.
+        """
+        clone = BayesianNetwork()
+        clone.graph = self.graph.copy()
+        clone._cpds = {name: cpd.copy() for name, cpd in self._cpds.items()}
+        clone.cpd_version = len(clone._cpds)
         return clone
 
     def with_uniform_cpds(self, cardinalities: Mapping[str, int],
@@ -180,9 +199,8 @@ class BayesianNetwork:
         parameter learning.
         """
         state_names = dict(state_names or {})
-        clone = BayesianNetwork(nodes=self.graph.nodes)
-        for parent, child in self.graph.edges:
-            clone.add_edge(parent, child)
+        clone = BayesianNetwork()
+        clone.graph = self.graph.copy()
         for node in clone.nodes:
             parents = clone.parents(node)
             names = {node: state_names.get(node,

@@ -71,13 +71,15 @@ class CompiledNode:
 
 
 def cpd_signature(network: BayesianNetwork) -> tuple:
-    """Identity snapshot of the network's CPD objects.
+    """Version snapshot of the network's CPD set.
 
-    ``add_cpd`` replaces the stored object, so comparing signatures detects
-    parameter updates between queries.  (In-place mutation of a CPD's table
-    array is not detectable and remains unsupported, as before.)
+    ``add_cpd`` bumps the network's ``cpd_version`` counter, so comparing
+    signatures detects parameter updates between queries without touching
+    the CPD objects themselves — this runs on every cached query, so it
+    must stay O(1).  (In-place mutation of a CPD's table array is not
+    detectable and remains unsupported, as before.)
     """
-    return tuple(id(cpd) for cpd in network.cpds)
+    return (id(network), network.cpd_version)
 
 
 def state_to_index(network: BayesianNetwork, variable: str,

@@ -22,6 +22,7 @@ The flow mirrors Sections II–IV of the paper:
 from repro.core.blocks import BlockType, ModelVariable
 from repro.core.states import StateDefinition, StateTable, Discretizer
 from repro.core.circuit_model import CircuitModelDescription
+from repro.bayesnet.learning.case_matrix import CaseMatrix
 from repro.core.case_generation import Case, CaseGenerator
 from repro.core.model_builder import (
     Dlog2BBN,
@@ -59,6 +60,7 @@ __all__ = [
     "CircuitModelDescription",
     "Case",
     "CaseGenerator",
+    "CaseMatrix",
     "Dlog2BBN",
     "BuiltModel",
     "validate_built_network",

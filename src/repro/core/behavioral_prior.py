@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.bayesnet.cpd import TabularCPD
 from repro.bayesnet.learning.bayesian_estimator import BayesianEstimator
+from repro.bayesnet.learning.case_matrix import CaseMatrix
 from repro.bayesnet.network import BayesianNetwork
 from repro.circuits.behavioral import BehavioralSimulator
 from repro.circuits.components import HEALTHY, BlockHealth
@@ -300,6 +301,66 @@ class SimulationPriorBuilder:
             cases.append(case)
         return cases
 
+    def simulate_case_matrix(self) -> CaseMatrix:
+        """Simulate the population and return the cases as a code matrix.
+
+        Consumes the random stream exactly like :meth:`simulate_cases` — the
+        per-sample fault, process-variation and noise draws stay scalar, in
+        the same order — but every circuit evaluation runs in one batched
+        pass over the blocks, so a fresh builder with the same seed yields
+        the same cases bit-for-bit (the equivalence suite pins this).
+        """
+        sim = self._simulator
+        plan = sim.plan
+        count = self.samples
+        blocks = plan.block_count
+        noisy = sim.measurement_noise > 0
+        varying = sim.process_variation is not None
+        multipliers = np.ones((count, len(plan.multiplier_names)))
+        noise = np.empty((count, blocks)) if noisy else None
+        faults_list: list[dict[str, BlockFault]] = []
+        for index in range(count):
+            faults_list.append(self._sample_faults())
+            if varying:
+                sample = sim.sample_device()
+                multipliers[index] = [sample[name]
+                                      for name in plan.multiplier_names]
+            if noisy:
+                noise[index] = self._rng.normal(0.0, sim.measurement_noise,
+                                                size=blocks)
+        modes, severities = plan.encode_faults(faults_list, sim.netlist)
+
+        sets = self.condition_sets
+        forced = set(sets[0])
+        if all(set(conditions) == forced for conditions in sets):
+            cycle = np.arange(count) % len(sets)
+            condition_arrays = {
+                net: np.array([float(conditions[net])
+                               for conditions in sets])[cycle]
+                for net in forced}
+            voltages = plan.evaluate(condition_arrays, count, modes,
+                                     severities, multipliers, noise)
+        else:
+            voltages = np.empty((count, blocks))
+            for offset, conditions in enumerate(sets):
+                rows = np.arange(offset, count, len(sets))
+                condition_arrays = {net: np.full(len(rows), float(value))
+                                    for net, value in conditions.items()}
+                voltages[rows] = plan.evaluate(
+                    condition_arrays, len(rows),
+                    None if modes is None else modes[rows],
+                    None if severities is None else severities[rows],
+                    multipliers[rows],
+                    None if noise is None else noise[rows])
+
+        variables = list(self.model.variable_names)
+        codes = np.empty((count, len(variables)), dtype=np.int16)
+        for column, variable in enumerate(variables):
+            table = self.model.state_table(variable)
+            codes[:, column] = table.classify_indices(
+                voltages[:, plan.column[variable]])
+        return CaseMatrix(variables, codes, self.model.state_names())
+
     def build(self) -> BayesianNetwork:
         """Return the designer-prior network fitted to the simulated cases."""
         structure = BayesianNetwork(nodes=self.model.variable_names)
@@ -310,4 +371,4 @@ class SimulationPriorBuilder:
             equivalent_sample_size=self.equivalent_sample_size,
             cardinalities=self.model.cardinalities(),
             state_names=self.model.state_names())
-        return estimator.fit(self.simulate_cases())
+        return estimator.fit(self.simulate_case_matrix())

@@ -16,7 +16,9 @@ from collections.abc import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.ate.datalog import DeviceDatalog
+from repro.ate.store import DeviceResultStore
 from repro.ate.tester import DeviceResult
+from repro.bayesnet.learning.case_matrix import CaseMatrix
 from repro.core.circuit_model import CircuitModelDescription
 from repro.exceptions import CaseGenerationError
 
@@ -248,6 +250,113 @@ class CaseGenerator:
                 continue
             cases.extend(self.cases_from_datalog(datalog))
         return cases
+
+    # ---------------------------------------------------------- columnar path
+    def case_matrix(self, source, only_failing_devices: bool = False
+                    ) -> CaseMatrix:
+        """Return the learning cases of a population as a :class:`CaseMatrix`.
+
+        ``source`` may be a columnar :class:`DeviceResultStore` (the fast
+        path: every measurement column is discretised with one
+        ``classify_indices`` call and no per-case Python objects are built),
+        a sequence of :class:`DeviceResult` rows, or a sequence of
+        :class:`LabeledCase` rows.  The emitted rows are identical (same
+        order, same states, same provenance) to
+        :meth:`cases_from_results` — the columnar equivalence suite pins
+        this.
+
+        Store-backed matrices are memoised on the store (keyed by model,
+        internal-variable setting and the failing-devices filter): stores are
+        append-free once built, so the same population discretised by
+        several builds — the ablation/serving pattern — pays for one pass.
+        Callers must treat the returned matrix as read-only.
+        """
+        if isinstance(source, DeviceResultStore):
+            key = (self.model, self.include_internal,
+                   bool(only_failing_devices), self._discretizer.strict)
+            cache = source.__dict__.setdefault("_case_matrix_cache", {})
+            matrix = cache.get(key)
+            if matrix is None:
+                matrix = self._case_matrix_from_store(source,
+                                                      only_failing_devices)
+                cache[key] = matrix
+            return matrix
+        source = list(source)
+        if source and isinstance(source[0], LabeledCase):
+            if only_failing_devices:
+                failing = {case.device_id for case in source if case.failed}
+                source = [case for case in source
+                          if case.device_id in failing]
+            return CaseMatrix.from_labeled_cases(
+                source, self._discretizer.state_names(),
+                self.model.variable_names)
+        return CaseMatrix.from_labeled_cases(
+            self.cases_from_results(source, only_failing_devices),
+            self._discretizer.state_names(), self.model.variable_names)
+
+    def _case_matrix_from_store(self, store: DeviceResultStore,
+                                only_failing_devices: bool) -> CaseMatrix:
+        """Discretise a columnar store straight into a case matrix."""
+        if only_failing_devices:
+            mask = store.failed_mask()
+            if not mask.all():
+                store = store.select(mask)
+        variables = self.model.variable_names
+        variable_set = set(variables)
+        column_of = {variable: column
+                     for column, variable in enumerate(variables)}
+        state_names = self._discretizer.state_names()
+        devices = store.device_count
+        tests = store.test_count
+        if devices == 0 or tests == 0:
+            return CaseMatrix(variables,
+                              np.empty((0, len(variables)), dtype=np.int16),
+                              state_names, [], [], np.zeros(0, dtype=bool))
+        # Condition groups in first-occurrence order, as in the row path.
+        condition_groups: dict[str, list[int]] = {}
+        for index, conditions in enumerate(store.conditions):
+            condition_groups.setdefault(self._condition_label(conditions),
+                                        []).append(index)
+        groups = len(condition_groups)
+        codes = np.full((devices, groups, len(variables)), -1, dtype=np.int16)
+        failed = np.zeros((devices, groups), dtype=bool)
+        labels: list[str] = []
+        strict = self._discretizer.strict
+        for slot, (label, rows) in enumerate(condition_groups.items()):
+            labels.append(label)
+            for variable, value in store.conditions[rows[0]].items():
+                if variable not in variable_set:
+                    continue
+                if not self.model.variable(variable).is_controllable:
+                    raise CaseGenerationError(
+                        f"datalog forces {variable!r}, which is not a "
+                        "controllable model variable")
+                table = self._discretizer.table(variable)
+                codes[:, slot, column_of[variable]] = table.classify_indices(
+                    [float(value)], strict=strict)[0]
+            model_rows = [row for row in rows
+                          if store.blocks[row] in variable_set]
+            # Later tests of the group overwrite earlier ones for the same
+            # block, matching the row path's assignment order.
+            for row in model_rows:
+                block = store.blocks[row]
+                table = self._discretizer.table(block)
+                codes[:, slot, column_of[block]] = table.classify_indices(
+                    store.values[row], strict=strict)
+            if model_rows:
+                failed[:, slot] = ~store.passed[model_rows].all(axis=0)
+        # Provenance rows share one string object per device / per condition
+        # group: at ATE scale a fresh string per row would cost more resident
+        # memory than every measurement plane combined (the memory-ceiling
+        # smoke in the CPT-learning benchmark pins this).
+        unique_ids = [str(device_id) for device_id in store.device_ids]
+        matrix = CaseMatrix(
+            variables, codes.reshape(devices * groups, len(variables)),
+            state_names,
+            [device_id for device_id in unique_ids for _ in range(groups)],
+            labels * devices,
+            failed.reshape(devices * groups))
+        return matrix
 
     # -------------------------------------------------------------- conversion
     @staticmethod

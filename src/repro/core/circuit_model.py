@@ -88,23 +88,36 @@ class CircuitModelDescription:
         return [name for name, variable in self._variables.items()
                 if variable.block_type is block_type]
 
+    def _role_lists(self) -> tuple[tuple[str, ...], tuple[str, ...],
+                                   tuple[str, ...]]:
+        # The variable set is frozen after construction, so the role
+        # partition is computed once; diagnosis asks for it per case.
+        cached = self.__dict__.get("_role_cache")
+        if cached is None:
+            cached = (
+                tuple(name for name, variable in self._variables.items()
+                      if variable.is_controllable),
+                tuple(name for name, variable in self._variables.items()
+                      if variable.is_observable),
+                tuple(name for name, variable in self._variables.items()
+                      if variable.is_internal))
+            self.__dict__["_role_cache"] = cached
+        return cached
+
     @property
     def controllable_variables(self) -> list[str]:
         """Variables whose state the tester forces (test conditions)."""
-        return [name for name, variable in self._variables.items()
-                if variable.is_controllable]
+        return list(self._role_lists()[0])
 
     @property
     def observable_variables(self) -> list[str]:
         """Variables whose state the tester measures (test responses)."""
-        return [name for name, variable in self._variables.items()
-                if variable.is_observable]
+        return list(self._role_lists()[1])
 
     @property
     def internal_variables(self) -> list[str]:
         """Variables that are neither controllable nor observable."""
-        return [name for name, variable in self._variables.items()
-                if variable.is_internal]
+        return list(self._role_lists()[2])
 
     # ------------------------------------------------------------------ states
     def state_table(self, name: str) -> StateTable:

@@ -27,7 +27,12 @@ from repro.core.evidence import (
     validate_evidence,
 )
 from repro.core.model_builder import BuiltModel
-from repro.exceptions import DiagnosisError, EvidenceError, ReproError
+from repro.exceptions import (
+    DiagnosisError,
+    EvidenceError,
+    ImpossibleEvidenceError,
+    ReproError,
+)
 
 #: Inference engines a DiagnosisEngine can run on, in decreasing exactness.
 ENGINE_NAMES = ("jt", "ve", "lw", "gibbs")
@@ -447,8 +452,12 @@ class DiagnosisEngine:
 
         The returned list is ordered by decreasing fail probability.
         """
-        fail = {variable: self.fail_probability(variable, posteriors)
-                for variable in self.model.internal_variables}
+        return self._deduce_from_fail(
+            {variable: self.fail_probability(variable, posteriors)
+             for variable in self.model.internal_variables})
+
+    def _deduce_from_fail(self, fail: dict[str, float]) -> list[str]:
+        """Back-track suspects from precomputed internal fail probabilities."""
         internal = set(fail)
 
         def ambiguous_internal_parents(variable: str) -> list[str]:
@@ -494,6 +503,15 @@ class DiagnosisEngine:
         fail = {variable: self.fail_probability(variable, posteriors)
                 for variable in self.model.internal_variables}
         return sorted(fail.items(), key=lambda item: item[1], reverse=True)
+
+    def _internal_fail_probabilities(
+            self, posteriors: Mapping[str, Mapping[str, float]]
+    ) -> dict[str, float]:
+        """Return the fail probability of every internal variable."""
+        healthy = self.healthy_states
+        return {variable: 1.0 - float(posteriors[variable].get(
+                    healthy[variable], 0.0))
+                for variable in self.model.internal_variables}
 
     # ---------------------------------------------------------------- diagnosis
     def diagnose(self, case: DiagnosticCase) -> Diagnosis:
@@ -566,6 +584,9 @@ class DiagnosisEngine:
         if names is not None and len(names) != len(cases):
             raise DiagnosisError(
                 f"got {len(names)} names for {len(cases)} cases")
+        if (deadline is None and type(self) is DiagnosisEngine
+                and isinstance(self._engine, VariableElimination)):
+            return self._diagnose_batch_ve(cases, names, on_error)
         diagnose = self.diagnose if deadline is None \
             else self._deadline_diagnose(deadline)
         results: list[Diagnosis | DiagnosisFailure] = []
@@ -574,6 +595,85 @@ class DiagnosisEngine:
                                               diagnose))
         if on_error == "skip":
             return [result for result in results if result is not None]
+        return results
+
+    def _diagnose_batch_ve(self, cases, names, on_error):
+        """Batched variable-elimination fast path of :meth:`diagnose_batch`.
+
+        Case preparation and evidence validation stay per-case (isolation
+        semantics identical to the scalar loop); the posterior updates of
+        every valid case run through
+        :meth:`~repro.bayesnet.inference.variable_elimination.VariableElimination.posteriors_batch`,
+        which shares one elimination sweep per evidence pattern instead of
+        one per case.
+        """
+        results: list[Diagnosis | DiagnosisFailure | None] = [None] * len(cases)
+        prepared: list[tuple[int, str, dict[str, str]]] = []
+        evidences: list[dict[str, str]] = []
+        for index, case in enumerate(cases):
+            if isinstance(case, DiagnosticCase):
+                name = case.name
+                raw = case.raw_evidence()
+            else:
+                name = names[index] if names is not None else f"case-{index}"
+                raw = {str(variable): str(state)
+                       for variable, state in case.items()}
+            try:
+                if not isinstance(case, DiagnosticCase):
+                    case = self._case_from_evidence(case, name)
+                evidence = validate_evidence(self.model, case.evidence())
+                # Surface engine-level evidence problems here, per case, so
+                # the shared batched sweep below can never fail as a whole.
+                self._engine._validate([], evidence)
+            except Exception as error:
+                if on_error == "raise":
+                    raise
+                results[index] = DiagnosisFailure.from_exception(
+                    name, raw, error,
+                    attempts=tuple(getattr(error, "attempts", ()) or ()),
+                    wall_time=float(getattr(error, "wall_time", 0.0) or 0.0))
+                continue
+            prepared.append((index, name, evidence))
+            evidences.append(evidence)
+
+        variable_names = self.model.variable_names
+        labels = {variable: self.model.state_table(variable).labels
+                  for variable in variable_names}
+        for (index, name, evidence), computed in zip(
+                prepared,
+                self._engine.posteriors_batch(evidences, validated=True)):
+            if computed is None:
+                error = ImpossibleEvidenceError(
+                    "the evidence has zero probability under the model; "
+                    "posteriors are undefined", evidence=evidence)
+                if on_error == "raise":
+                    raise error
+                results[index] = DiagnosisFailure.from_exception(
+                    name, evidence, error)
+                continue
+            posteriors: dict[str, dict[str, float]] = {}
+            for variable in variable_names:
+                if variable in evidence:
+                    observed = evidence[variable]
+                    posteriors[variable] = {
+                        label: 1.0 if label == observed else 0.0
+                        for label in labels[variable]}
+                else:
+                    posteriors[variable] = computed[variable]
+            fail = self._internal_fail_probabilities(posteriors)
+            results[index] = Diagnosis(
+                case_name=name,
+                evidence=evidence,
+                posteriors=posteriors,
+                fail_probabilities=fail,
+                suspects=self._deduce_from_fail(fail),
+                ranked_candidates=sorted(fail.items(),
+                                         key=lambda item: item[1],
+                                         reverse=True),
+            )
+        if on_error == "skip":
+            return [result for result in results
+                    if isinstance(result, Diagnosis)]
         return results
 
     def _deadline_diagnose(self, deadline: float):

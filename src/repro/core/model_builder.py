@@ -22,11 +22,14 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Mapping, Sequence
 
+import math
+
 import numpy as np
 
 from repro.bayesnet.cpd import TabularCPD
 from repro.bayesnet.learning import (
     BayesianEstimator,
+    CaseMatrix,
     ExpectationMaximization,
     MaximumLikelihoodEstimator,
 )
@@ -81,7 +84,18 @@ def validate_built_network(model: CircuitModelDescription,
     * its cardinality and state labels match the model's state table;
     * its table has the declared shape, only finite non-negative entries,
       and every parent-configuration column sums to 1 (within ``atol``).
+
+    A passing validation is memoised on the network against the model object
+    and the network's ``cpd_version``, so a long-lived prior network (the
+    common case: one designer prior reused across many builds) is walked
+    once, not once per build.  In-place table mutation stays undetectable,
+    as with every ``cpd_version``-keyed cache.
     """
+    stamp = (model, network.cpd_version, atol)
+    previous = network.__dict__.get("_built_validation")
+    if (previous is not None and previous[0] is model
+            and previous[1:] == stamp[1:]):
+        return
     issues: list[str] = []
     for variable in model.variable_names:
         try:
@@ -101,21 +115,24 @@ def validate_built_network(model: CircuitModelDescription,
                 f"{variable!r}: CPD state labels {labels} != usable states "
                 f"{list(table_def.labels)}")
         table = np.asarray(cpd.table, dtype=float)
-        columns = int(np.prod(cpd.parent_cardinalities)) \
+        columns = math.prod(cpd.parent_cardinalities) \
             if cpd.parent_cardinalities else 1
         if table.shape != (cpd.cardinality, columns):
             issues.append(
                 f"{variable!r}: CPD table shape {table.shape} != "
                 f"({cpd.cardinality}, {columns})")
             continue
-        if not np.isfinite(table).all():
+        # One reduction each for the happy path; a probability table whose
+        # grand total is finite has no NaN/inf entries.
+        if not np.isfinite(table.sum()):
             issues.append(f"{variable!r}: CPD table has NaN/inf entries")
             continue
-        if (table < 0.0).any():
+        if table.min() < 0.0:
             issues.append(f"{variable!r}: CPD table has negative entries")
         sums = table.sum(axis=0)
-        bad = np.flatnonzero(np.abs(sums - 1.0) > atol)
-        if bad.size:
+        errors = np.abs(sums - 1.0)
+        if errors.max() > atol:
+            bad = np.flatnonzero(errors > atol)
             issues.append(
                 f"{variable!r}: {bad.size} parent-configuration column(s) "
                 f"not normalised (first: column {bad[0]} sums to "
@@ -124,6 +141,7 @@ def validate_built_network(model: CircuitModelDescription,
         raise ModelBuildError(
             f"{context} failed validation ({len(issues)} issue(s)):\n  - "
             + "\n  - ".join(issues))
+    network.__dict__["_built_validation"] = stamp
 
 
 class Dlog2BBN:
@@ -178,11 +196,19 @@ class Dlog2BBN:
 
     # --------------------------------------------------------------- structure
     def build_structure(self) -> BayesianNetwork:
-        """Return the bare BBN structure (nodes and dependency arcs, no CPTs)."""
-        network = BayesianNetwork(nodes=self.model.variable_names)
-        for parent, child in self.model.dependencies:
-            network.add_edge(parent, child)
-        return network
+        """Return the bare BBN structure (nodes and dependency arcs, no CPTs).
+
+        The structure depends only on the (immutable) model description, so
+        the acyclicity-checked construction runs once; later calls return an
+        independent copy of the cached DAG.
+        """
+        cached = self.__dict__.get("_structure_cache")
+        if cached is None:
+            cached = BayesianNetwork(nodes=self.model.variable_names)
+            for parent, child in self.model.dependencies:
+                cached.add_edge(parent, child)
+            self.__dict__["_structure_cache"] = cached
+        return cached.copy()
 
     # ------------------------------------------------------------------ priors
     def _prior_cpd(self, network: BayesianNetwork, node: str) -> TabularCPD:
@@ -202,7 +228,7 @@ class Dlog2BBN:
             return TabularCPD(node, cardinality, column.reshape(-1, 1),
                               state_names={node: labels})
 
-        columns = int(np.prod(parent_cards))
+        columns = math.prod(parent_cards)
         table = np.empty((cardinality, columns))
         healthy_parent_indices = [
             t.labels.index(self.healthy_states[p])
@@ -233,19 +259,26 @@ class Dlog2BBN:
         The prior encodes the health-propagation intuition a product designer
         supplies: a block is almost certainly in its operational state when
         its parents are, and most probably not when any parent is broken.
+
+        The prior depends only on the (immutable) model description and the
+        builder's health parameters, so it is generated once and copied per
+        call.
         """
-        network = self.build_structure()
-        for node in network.nodes:
-            network.add_cpd(self._prior_cpd(network, node))
-        network.check_model()
-        return network
+        cached = self.__dict__.get("_designer_prior_cache")
+        if cached is None:
+            cached = self.build_structure()
+            for node in cached.nodes:
+                cached.add_cpd(self._prior_cpd(cached, node))
+            cached.check_model()
+            self.__dict__["_designer_prior_cache"] = cached
+        return cached.copy()
 
     # ---------------------------------------------------------------- building
     def case_generator(self, include_internal: bool = False) -> CaseGenerator:
         """Return a case generator bound to this circuit model."""
         return CaseGenerator(self.model, include_internal=include_internal)
 
-    def build(self, cases: Sequence[LabeledCase | Case] = (),
+    def build(self, cases: Sequence[LabeledCase | Case] | CaseMatrix = (),
               method: str = "em",
               prior_network: BayesianNetwork | None = None,
               equivalent_sample_size: float = 20.0,
@@ -255,9 +288,10 @@ class Dlog2BBN:
         Parameters
         ----------
         cases:
-            Learning cases (labelled or plain).  With no cases the designer
-            prior is returned unchanged — the model is still usable, just not
-            fine-tuned.
+            Learning cases (labelled, plain, or an integer-encoded
+            :class:`CaseMatrix` — the array-native fast path).  With no
+            cases the designer prior is returned unchanged — the model is
+            still usable, just not fine-tuned.
         method:
             ``"em"`` (default; handles unknown internal states),
             ``"bayes"`` (Dirichlet updating of the prior; unknown states are
@@ -273,12 +307,16 @@ class Dlog2BBN:
         if method not in ("em", "bayes", "mle"):
             raise ModelBuildError(
                 f"unknown learning method {method!r}; use 'em', 'bayes' or 'mle'")
-        plain_cases: list[Case] = []
-        for case in cases:
-            if isinstance(case, LabeledCase):
-                plain_cases.append(dict(case.assignments))
-            else:
-                plain_cases.append(dict(case))
+        if isinstance(cases, CaseMatrix):
+            fit_cases: CaseMatrix | list[Case] = cases
+        else:
+            plain_cases: list[Case] = []
+            for case in cases:
+                if isinstance(case, LabeledCase):
+                    plain_cases.append(dict(case.assignments))
+                else:
+                    plain_cases.append(dict(case))
+            fit_cases = plain_cases
 
         if prior_network is not None:
             validate_built_network(self.model, prior_network,
@@ -290,7 +328,8 @@ class Dlog2BBN:
         cardinalities = self.model.cardinalities()
         state_names = self.model.state_names()
 
-        if not plain_cases:
+        case_count = len(fit_cases)
+        if case_count == 0:
             network = prior.copy()
         elif method == "em":
             learner = ExpectationMaximization(
@@ -298,23 +337,23 @@ class Dlog2BBN:
                 equivalent_sample_size=equivalent_sample_size,
                 cardinalities=cardinalities, state_names=state_names,
                 max_iterations=max_iterations)
-            network = learner.fit(plain_cases)
+            network = learner.fit(fit_cases)
         elif method == "bayes":
             learner = BayesianEstimator(
                 structure, prior_network=prior,
                 equivalent_sample_size=equivalent_sample_size,
                 cardinalities=cardinalities, state_names=state_names)
-            network = learner.fit(plain_cases)
+            network = learner.fit(fit_cases)
         else:
             learner = MaximumLikelihoodEstimator(
                 structure, cardinalities=cardinalities, state_names=state_names)
-            network = learner.fit(plain_cases)
+            network = learner.fit(fit_cases)
 
         validate_built_network(self.model, network,
                                context=f"network learned with {method!r}"
-                               if plain_cases else "designer prior network")
+                               if case_count else "designer prior network")
         return BuiltModel(description=self.model, network=network,
                           prior_network=prior,
                           discretizer=self.model.discretizer(),
                           healthy_states=dict(self.healthy_states),
-                          training_case_count=len(plain_cases))
+                          training_case_count=case_count)

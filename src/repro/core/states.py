@@ -88,12 +88,13 @@ class StateTable:
                 f"variable {variable!r} has duplicate state labels: {labels}")
         self.variable = variable
         self.states = states
+        self._labels = labels
 
     # ---------------------------------------------------------------- queries
     @property
     def labels(self) -> list[str]:
         """All state labels in priority order."""
-        return [state.label for state in self.states]
+        return list(self._labels)
 
     @property
     def cardinality(self) -> int:

@@ -136,7 +136,18 @@ class ATEError(ReproError):
 
 
 class DatalogError(ATEError):
-    """A datalog file or record cannot be parsed."""
+    """A datalog file or record cannot be parsed.
+
+    When the failure is tied to a specific record of a file, ``path`` and
+    ``line_number`` carry the location so tooling can report it structurally
+    instead of scraping the message.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 line_number: int | None = None) -> None:
+        super().__init__(message)
+        self.path = path
+        self.line_number = line_number
 
 
 class ModelBuildError(ReproError):
