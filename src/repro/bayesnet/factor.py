@@ -380,14 +380,23 @@ def contract_factors(factors: Sequence[DiscreteFactor],
 #: structure.  ``np.einsum(optimize=True)`` re-runs the path optimiser on
 #: every call; the inference sweeps issue the same handful of contraction
 #: shapes thousands of times per population, so the path is computed once
-#: and replayed.
+#: and replayed.  Shared between the interpreted engines (via
+#: :func:`contract_factors`) and the ahead-of-time compiled programs of
+#: :mod:`repro.bayesnet.inference.compiled`, which plan their wide
+#: contractions through :func:`cached_einsum_path` at compile time.
 _PATH_CACHE: dict[tuple, list] = {}
 _PATH_CACHE_LIMIT = 4096
 
 
-def _contraction_path(key_parts: list[tuple], out_labels: list[int],
-                      operands: list[object]) -> list:
-    key = (tuple(key_parts), tuple(out_labels))
+def cached_einsum_path(key: tuple, operands: Sequence[object]) -> list:
+    """Return the memoised ``np.einsum_path`` for one contraction structure.
+
+    ``key`` must uniquely describe the einsum call — the operand subscripts
+    and shapes (and, for batched callers, the batch-axis convention) — since
+    the returned path is replayed verbatim for every matching call.
+    ``operands`` is the full interleaved einsum argument list used on a
+    cache miss to run the path optimiser once.
+    """
     path = _PATH_CACHE.get(key)
     if path is None:
         path = np.einsum_path(*operands, optimize=True)[0]
@@ -395,6 +404,11 @@ def _contraction_path(key_parts: list[tuple], out_labels: list[int],
             _PATH_CACHE.clear()
         _PATH_CACHE[key] = path
     return path
+
+
+def _contraction_path(key_parts: list[tuple], out_labels: list[int],
+                      operands: list[object]) -> list:
+    return cached_einsum_path((tuple(key_parts), tuple(out_labels)), operands)
 
 
 def _broadcast_product(left: DiscreteFactor, right: DiscreteFactor) -> DiscreteFactor:

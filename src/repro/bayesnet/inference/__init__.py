@@ -10,6 +10,10 @@ provided.  All engines share the same query interface:
     convenience single-variable ``{state: probability}`` dictionary.
 ``map_query(variables, evidence)``
     most probable joint assignment of ``variables``.
+
+The exact engines additionally support ahead-of-time compilation
+(``compile_posteriors``) into static :class:`CompiledProgram` op-lists for
+sub-millisecond single-device queries and vectorised population sweeps.
 """
 
 from repro.bayesnet.inference.elimination_order import (
@@ -21,6 +25,11 @@ from repro.bayesnet.inference.variable_elimination import VariableElimination
 from repro.bayesnet.inference.junction_tree import JunctionTree
 from repro.bayesnet.inference.likelihood_weighting import LikelihoodWeighting
 from repro.bayesnet.inference.gibbs import GibbsSampling
+from repro.bayesnet.inference.compiled import (
+    BatchPosteriors,
+    CompiledProgram,
+    compile_posteriors,
+)
 
 __all__ = [
     "min_degree_order",
@@ -30,4 +39,7 @@ __all__ = [
     "JunctionTree",
     "LikelihoodWeighting",
     "GibbsSampling",
+    "BatchPosteriors",
+    "CompiledProgram",
+    "compile_posteriors",
 ]

@@ -1,0 +1,873 @@
+"""Ahead-of-time compiled inference programs.
+
+The interpreted exact engines re-walk a Python factor graph on every cold
+query: ``DiscreteFactor`` objects are rebuilt, contraction plans are looked
+up, and dictionaries are assembled per call.  For the interactive serving
+story (one failing device on the bench, sub-millisecond posterior updates)
+that bookkeeping dominates the arithmetic, so this module traces an
+engine's whole sweep **once** into a static :class:`CompiledProgram`:
+
+* the VE shared-bucket forward/backward sweep
+  (:meth:`~repro.bayesnet.inference.variable_elimination.VariableElimination.compile_posteriors`), or
+* the junction tree's collect/distribute calibration
+  (:meth:`~repro.bayesnet.inference.junction_tree.JunctionTree.compile_posteriors`)
+
+is recorded as a flat op-list of array contractions.  Every axis alignment
+(transposes, broadcast slots, summed axes) is resolved at compile time;
+wide contractions lower to ``einsum`` calls whose contraction paths are
+precomputed through the shared :func:`~repro.bayesnet.factor.cached_einsum_path`
+memo; narrow ones lower to broadcast multiply chains (``einsum``'s parsing
+overhead dominates the arithmetic at these sizes).  Evidence is entered by
+*indexed slicing into pinned CPT arrays*: each CPT is transposed once so
+its evidence axes lead, flattened to a ``(evidence-configs, rest)`` plane,
+and a query gathers one row (a zero-copy view for single queries, a
+vectorised gather for batches) instead of rebuilding reduced factors.
+
+Two entry points:
+
+``run(evidence)``
+    One device.  Executes the single-query plan over preallocated scratch
+    buffers and returns every free-variable marginal as a ``(card,)``
+    array — the sub-millisecond path.
+``run_batch(evidence_matrix)``
+    A whole failing population.  The same op-list executes with a leading
+    batch axis carried through every contraction, returning
+    ``(devices, variables, states)`` posterior planes plus per-device
+    evidence probabilities.
+
+Programs are immutable snapshots of the network's CPDs at compile time
+(``cpd_version`` records which); callers such as
+:class:`~repro.core.diagnosis.DiagnosisEngine` recompile when CPDs are
+replaced, exactly like the interpreted evidence caches invalidate.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.bayesnet.factor import (
+    _MAX_EINSUM_VARIABLES,
+    DiscreteFactor,
+    cached_einsum_path,
+)
+from repro.bayesnet.network import BayesianNetwork
+from repro.exceptions import ImpossibleEvidenceError, InferenceError
+
+Evidence = Mapping[str, str | int]
+
+#: Compile schedules a program can be traced from.
+SCHEDULES = ("ve", "jt")
+
+#: Contractions at least this many operands wide *and* whose union table is
+#: at least this large lower to ``einsum`` with a precomputed contraction
+#: path; smaller ones lower to broadcast multiply chains.
+_EINSUM_MIN_OPERANDS = 3
+_EINSUM_MIN_SIZE = 4096
+
+#: Representative batch extent used when planning batched einsum paths at
+#: compile time (the path's validity does not depend on the real extent).
+_PATH_PLAN_BATCH = 8
+
+# Executable step kinds (first element of every lowered step tuple).
+_MUL, _EINSUM, _SUM, _DIV = 0, 1, 2, 3
+
+_ZERO_PROBABILITY_MESSAGE = (
+    "the evidence has zero probability under the model; "
+    "posteriors are undefined")
+_NON_FINITE_MESSAGE = (
+    "non-finite evidence probability; the network contains corrupted "
+    "(NaN/inf) CPD entries")
+
+
+class _ProgramBuilder:
+    """Records the abstract op graph while a schedule is being traced.
+
+    Registers are integers; ``meta[reg]`` holds ``(variables, depends)``
+    where ``depends`` marks values that change with the evidence codes
+    (the leaves gathered from pinned CPTs and everything downstream of
+    them) — exactly the values that carry the batch axis in batch mode.
+    """
+
+    def __init__(self, network: BayesianNetwork,
+                 evidence_vars: tuple[str, ...]) -> None:
+        self.network = network
+        self.evidence_vars = evidence_vars
+        self.evidence_pos = {v: i for i, v in enumerate(evidence_vars)}
+        self.cards = {node: network.cardinality(node)
+                      for node in network.nodes}
+        self.meta: list[tuple[tuple[str, ...], bool]] = []
+        self.consts: dict[int, np.ndarray] = {}
+        self.leaves: list[tuple] = []
+        self.ops: list[tuple] = []
+        self.total_regs: list[int] = []
+        self.marginal_regs: dict[str, int] = {}
+
+    # ------------------------------------------------------------- registers
+    def new_reg(self, variables: Sequence[str], depends: bool) -> int:
+        self.meta.append((tuple(variables), bool(depends)))
+        return len(self.meta) - 1
+
+    def vars_of(self, reg: int) -> tuple[str, ...]:
+        return self.meta[reg][0]
+
+    def const(self, values: np.ndarray, variables: Sequence[str]) -> int:
+        reg = self.new_reg(variables, depends=False)
+        self.consts[reg] = np.asarray(values, dtype=float)
+        return reg
+
+    def ones(self, variables: Sequence[str]) -> int:
+        cards = [self.cards[v] for v in variables]
+        return self.const(np.ones(cards), variables)
+
+    # ---------------------------------------------------------------- leaves
+    def leaf(self, factor: DiscreteFactor) -> int:
+        """Pin one CPT: evidence axes lead, flattened to a gather plane."""
+        hit = [v for v in factor.variables if v in self.evidence_pos]
+        if not hit:
+            return self.const(factor.values, factor.variables)
+        axes = {v: i for i, v in enumerate(factor.variables)}
+        rest = [v for v in factor.variables if v not in set(hit)]
+        perm = [axes[v] for v in hit] + [axes[v] for v in rest]
+        pinned = np.ascontiguousarray(factor.values.transpose(perm),
+                                      dtype=float)
+        hit_cards = [factor.cardinalities[axes[v]] for v in hit]
+        rest_shape = tuple(factor.cardinalities[axes[v]] for v in rest)
+        plane = pinned.reshape(math.prod(hit_cards), -1)
+        multipliers: list[int] = []
+        running = 1
+        for card in reversed(hit_cards):
+            multipliers.append(running)
+            running *= card
+        multipliers.reverse()
+        columns = tuple(self.evidence_pos[v] for v in hit)
+        reg = self.new_reg(rest, depends=True)
+        self.leaves.append((reg, plane, columns, tuple(multipliers),
+                            rest_shape))
+        return reg
+
+    # ------------------------------------------------------------------- ops
+    def contract(self, srcs: Sequence[int],
+                 keep: Sequence[str] | frozenset[str] | None = None) -> int:
+        """Multiply registers, summing out every variable not in ``keep``.
+
+        Output variables appear in first-seen order across the operands
+        (the :func:`~repro.bayesnet.factor.contract_factors` convention).
+        An identity contraction returns its operand register with no op.
+        """
+        srcs = list(srcs)
+        if not srcs:
+            return self.const(np.array(1.0), ())
+        order: list[str] = []
+        seen: set[str] = set()
+        depends = False
+        for reg in srcs:
+            variables, reg_depends = self.meta[reg]
+            depends = depends or reg_depends
+            for variable in variables:
+                if variable not in seen:
+                    seen.add(variable)
+                    order.append(variable)
+        if keep is None:
+            out_vars = order
+        else:
+            keep_set = set(keep)
+            out_vars = [v for v in order if v in keep_set]
+        if len(srcs) == 1 and len(out_vars) == len(order):
+            return srcs[0]
+        out = self.new_reg(out_vars, depends)
+        self.ops.append(("contract", out, tuple(srcs),
+                         None if keep is None else frozenset(keep)))
+        return out
+
+    def divide(self, num: int, den: int) -> int:
+        """``num / den`` with the 0/0-equals-0 convention, over num's axes."""
+        out = self.new_reg(self.meta[num][0],
+                           self.meta[num][1] or self.meta[den][1])
+        self.ops.append(("divide", out, num, den))
+        return out
+
+
+# --------------------------------------------------------------- lowering
+def _lower(builder: _ProgramBuilder, *, batch: bool,
+           buffers: bool) -> tuple[tuple, ...]:
+    """Lower the abstract op graph to executable steps for one mode.
+
+    ``batch=True`` threads a leading batch axis through every
+    evidence-dependent value; ``buffers=True`` (single mode only)
+    preallocates every op's output/scratch arrays so the steady-state query
+    path performs no per-call output allocation.
+    """
+    steps = []
+    for op in builder.ops:
+        if op[0] == "contract":
+            steps.append(_lower_contract(builder, op, batch, buffers))
+        else:
+            steps.append(_lower_divide(builder, op, batch, buffers))
+    return tuple(steps)
+
+
+def _lower_contract(builder: _ProgramBuilder, op: tuple, batch: bool,
+                    buffers: bool) -> tuple:
+    _, out, srcs, keep = op
+    metas = [builder.meta[reg] for reg in srcs]
+    flags = [batch and depends for _, depends in metas]
+    order: list[str] = []
+    seen: set[str] = set()
+    for variables, _ in metas:
+        for variable in variables:
+            if variable not in seen:
+                seen.add(variable)
+                order.append(variable)
+    position = {variable: i for i, variable in enumerate(order)}
+    out_batched = any(flags)
+    keep_set = None if keep is None else set(keep)
+    out_vars = order if keep_set is None \
+        else [v for v in order if v in keep_set]
+    union_shape = tuple(builder.cards[v] for v in order)
+    out_shape = tuple(builder.cards[v] for v in out_vars)
+
+    if len(srcs) == 1:
+        # Lone operand: no alignment, just sum the dropped axes in place.
+        variables = metas[0][0]
+        offset = 1 if flags[0] else 0
+        axes = tuple(offset + i for i, v in enumerate(variables)
+                     if v not in keep_set)
+        buf = np.empty(out_shape) if buffers else None
+        return (_SUM, out, srcs[0], axes, buf)
+
+    size = math.prod(union_shape) if order else 1
+    if (len(srcs) >= _EINSUM_MIN_OPERANDS and size >= _EINSUM_MIN_SIZE
+            and len(order) < _MAX_EINSUM_VARIABLES):
+        return _lower_einsum(builder, out, srcs, metas, flags, position,
+                             out_vars, out_batched, out_shape, buffers)
+
+    width = len(order)
+    aligners = []
+    for (variables, _), flag in zip(metas, flags):
+        perm = sorted(range(len(variables)),
+                      key=lambda i: position[variables[i]])
+        identity = perm == list(range(len(variables)))
+        if flag:
+            transpose = None if identity \
+                else tuple([0] + [1 + i for i in perm])
+        else:
+            transpose = None if identity else tuple(perm)
+        index: list[object] = [slice(None)] if flag \
+            else ([np.newaxis] if out_batched else [])
+        present = {position[v] for v in variables}
+        index.extend(slice(None) if axis in present else np.newaxis
+                     for axis in range(width))
+        if any(entry is np.newaxis for entry in index):
+            aligners.append((transpose, tuple(index)))
+        else:
+            aligners.append((transpose, None))
+    offset = 1 if out_batched else 0
+    drop = () if keep_set is None else tuple(
+        offset + i for i, v in enumerate(order) if v not in keep_set)
+    mul_buf = np.empty(union_shape) if buffers else None
+    sum_buf = np.empty(out_shape) if buffers and drop else None
+    return (_MUL, out, tuple(srcs), tuple(aligners), drop, mul_buf, sum_buf)
+
+
+def _lower_einsum(builder: _ProgramBuilder, out: int, srcs: tuple,
+                  metas: list, flags: list, position: dict,
+                  out_vars: list, out_batched: bool, out_shape: tuple,
+                  buffers: bool) -> tuple:
+    """Wide contraction: one einsum call with a precomputed path."""
+    batch_label = len(position)
+    subscripts: list[tuple[int, ...]] = []
+    shapes: list[tuple[int, ...]] = []
+    for (variables, _), flag in zip(metas, flags):
+        labels = [position[v] for v in variables]
+        shape = tuple(builder.cards[v] for v in variables)
+        if flag:
+            labels = [batch_label] + labels
+            shape = (_PATH_PLAN_BATCH,) + shape
+        subscripts.append(tuple(labels))
+        shapes.append(shape)
+    out_labels = [position[v] for v in out_vars]
+    if out_batched:
+        out_labels = [batch_label] + out_labels
+    key = ("compiled", tuple(zip(subscripts, shapes)), tuple(out_labels))
+    plan_operands: list[object] = []
+    for shape, labels in zip(shapes, subscripts):
+        plan_operands.append(np.empty(shape))
+        plan_operands.append(list(labels))
+    plan_operands.append(list(out_labels))
+    path = cached_einsum_path(key, plan_operands)
+    buf = np.empty(out_shape) if buffers else None
+    return (_EINSUM, out, tuple(srcs), tuple(subscripts),
+            tuple(out_labels), path, buf)
+
+
+def _lower_divide(builder: _ProgramBuilder, op: tuple, batch: bool,
+                  buffers: bool) -> tuple:
+    _, out, num, den = op
+    num_vars, num_depends = builder.meta[num]
+    den_vars, den_depends = builder.meta[den]
+    num_batched = batch and num_depends
+    den_batched = batch and den_depends
+    axes = [den_vars.index(v) for v in num_vars]
+    identity = axes == list(range(len(den_vars)))
+    if den_batched:
+        transpose = None if identity else tuple([0] + [1 + a for a in axes])
+    else:
+        transpose = None if identity else tuple(axes)
+    den_expand = num_batched and not den_batched
+    num_expand = den_batched and not num_batched
+    buf = np.empty(tuple(builder.cards[v] for v in num_vars)) \
+        if buffers else None
+    return (_DIV, out, num, den, transpose, den_expand, num_expand, buf)
+
+
+def _execute(steps: tuple[tuple, ...], regs: list) -> None:
+    """Run the lowered op-list over the register file, in place."""
+    for step in steps:
+        kind = step[0]
+        if kind == _MUL:
+            _, out, srcs, aligners, drop, mul_buf, sum_buf = step
+            acc = None
+            last = len(srcs) - 1
+            for k in range(len(srcs)):
+                value = regs[srcs[k]]
+                transpose, index = aligners[k]
+                if transpose is not None:
+                    value = value.transpose(transpose)
+                if index is not None:
+                    value = value[index]
+                if acc is None:
+                    acc = value
+                elif k == last and mul_buf is not None:
+                    acc = np.multiply(acc, value, out=mul_buf)
+                else:
+                    acc = acc * value
+            if drop:
+                acc = acc.sum(axis=drop, out=sum_buf) \
+                    if sum_buf is not None else acc.sum(axis=drop)
+            regs[out] = acc
+        elif kind == _SUM:
+            _, out, src, axes, buf = step
+            value = regs[src]
+            regs[out] = value.sum(axis=axes, out=buf) \
+                if buf is not None else value.sum(axis=axes)
+        elif kind == _DIV:
+            _, out, num, den, transpose, den_expand, num_expand, buf = step
+            den_value = regs[den]
+            if transpose is not None:
+                den_value = den_value.transpose(transpose)
+            if den_expand:
+                den_value = den_value[np.newaxis]
+            num_value = regs[num]
+            if num_expand:
+                num_value = num_value[np.newaxis]
+            if buf is not None:
+                buf.fill(0.0)
+                np.divide(num_value, den_value, out=buf,
+                          where=den_value > 0)
+                regs[out] = buf
+            else:
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    regs[out] = np.where(den_value > 0,
+                                         num_value / den_value, 0.0)
+        else:  # _EINSUM
+            _, out, srcs, subscripts, out_labels, path, buf = step
+            operands: list[object] = []
+            for reg, labels in zip(srcs, subscripts):
+                operands.append(regs[reg])
+                operands.append(list(labels))
+            operands.append(list(out_labels))
+            if buf is not None:
+                regs[out] = np.einsum(*operands, out=buf, optimize=path)
+            else:
+                regs[out] = np.einsum(*operands, optimize=path)
+
+
+# ----------------------------------------------------------------- tracing
+def _trace_ve(builder: _ProgramBuilder, engine) -> None:
+    """Record the shared-bucket VE forward/backward sweep as ops.
+
+    Mirrors ``VariableElimination._forward_pass_batch`` and
+    ``_sweep_batch`` op for op: same elimination order, same bucket
+    assignment, same backward divisions — so compiled and interpreted
+    posteriors agree to floating-point noise.
+    """
+    network = builder.network
+    free = [node for node in network.nodes
+            if node not in builder.evidence_pos]
+    order = engine._elimination_order(free)
+    position = {variable: i for i, variable in enumerate(order)}
+    buckets: list[list[int]] = [[] for _ in order]
+    for factor in engine._factors():
+        reg = builder.leaf(factor)
+        variables = builder.vars_of(reg)
+        if variables:
+            buckets[min(position[v] for v in variables)].append(reg)
+        else:
+            builder.total_regs.append(reg)
+
+    potentials: list[int | None] = [None] * len(order)
+    forward: list[int | None] = [None] * len(order)
+    parent: list[int | None] = [None] * len(order)
+    for i, variable in enumerate(order):
+        psi = builder.contract(buckets[i], keep=None)
+        potentials[i] = psi
+        message = builder.contract(
+            [psi], keep=[v for v in builder.vars_of(psi) if v != variable])
+        forward[i] = message
+        message_vars = builder.vars_of(message)
+        if message_vars:
+            target = min(position[v] for v in message_vars)
+            parent[i] = target
+            buckets[target].append(message)
+        else:
+            builder.total_regs.append(message)
+
+    back: list[int | None] = [None] * len(order)
+    for j in range(len(order) - 1, -1, -1):
+        belief = potentials[j]
+        if back[j] is not None:
+            belief = builder.contract([potentials[j], back[j]], keep=None)
+        potentials[j] = belief
+        builder.marginal_regs[order[j]] = builder.contract(
+            [belief], keep=[order[j]])
+        for i in range(j):
+            if parent[i] == j:
+                separator = set(builder.vars_of(forward[i]))
+                numerator = builder.contract(
+                    [belief], keep=[v for v in builder.vars_of(belief)
+                                    if v in separator])
+                back[i] = builder.divide(numerator, forward[i])
+
+
+def _trace_jt(builder: _ProgramBuilder, engine) -> None:
+    """Record the junction tree's collect/distribute calibration as ops.
+
+    Mirrors ``JunctionTree.calibrate``: same CPD-to-home-clique
+    assignment, same Shafer-Shenoy messages over the same DFS order, with
+    the total evidence mass read from the root clique's belief.
+    """
+    network = builder.network
+    evidence = set(builder.evidence_pos)
+    cliques = engine._cliques
+    assigned: list[list[int]] = [[] for _ in cliques]
+    for cpd in network.cpds:
+        family = set(cpd.parents) | {cpd.variable}
+        home = None
+        for clique in cliques:
+            if family <= clique.variables:
+                home = clique.index
+                break
+        if home is None:
+            raise InferenceError(
+                f"no clique contains the family of {cpd.variable!r}; "
+                "triangulation is inconsistent")
+        assigned[home].append(builder.leaf(cpd.to_factor()))
+
+    potentials: list[int] = []
+    for clique in cliques:
+        scope = sorted(v for v in clique.variables if v not in evidence)
+        covered: set[str] = set()
+        for reg in assigned[clique.index]:
+            covered.update(builder.vars_of(reg))
+        missing = [v for v in scope if v not in covered]
+        operands = list(assigned[clique.index])
+        if missing:
+            # Clique scope not covered by any assigned CPD: keep those
+            # axes present, as the interpreted identity factor does.
+            operands = [builder.ones(missing)] + operands
+        potentials.append(builder.contract(operands, keep=None))
+
+    root = 0
+    order = engine._dfs_order(root)
+    parent_map = dict(engine._dfs_parent)
+    messages: dict[tuple[int, int], int] = {}
+
+    def message(source: int, target: int) -> int:
+        operands = [potentials[source]]
+        for neighbour in cliques[source].neighbours:
+            if neighbour == target:
+                continue
+            operands.append(messages[(neighbour, source)])
+        return builder.contract(operands,
+                                keep=engine._sepsets[(source, target)])
+
+    for node in reversed(order):  # collect: leaves towards the root
+        parent = parent_map.get(node)
+        if parent is not None:
+            messages[(node, parent)] = message(node, parent)
+    for node in order:  # distribute: root towards the leaves
+        for child in cliques[node].neighbours:
+            if child == parent_map.get(node):
+                continue
+            messages[(node, child)] = message(node, child)
+
+    free = [node for node in network.nodes if node not in evidence]
+    needed = {root} | {engine._home_clique[v] for v in free}
+    beliefs: dict[int, int] = {}
+    for index in sorted(needed):
+        beliefs[index] = builder.contract(
+            [potentials[index]] + [messages[(neighbour, index)]
+                                   for neighbour
+                                   in cliques[index].neighbours],
+            keep=None)
+    builder.total_regs.append(builder.contract([beliefs[root]], keep=()))
+    for variable in free:
+        builder.marginal_regs[variable] = builder.contract(
+            [beliefs[engine._home_clique[variable]]], keep=[variable])
+
+
+# ----------------------------------------------------------------- program
+class BatchPosteriors:
+    """The result of one :meth:`CompiledProgram.run_batch` sweep.
+
+    Attributes
+    ----------
+    variables:
+        Free variables, in network node order — the second plane axis.
+    state_names:
+        ``{variable: [state, ...]}`` naming the third plane axis.
+    planes:
+        ``(devices, variables, states)`` normalised posteriors,
+        zero-padded past each variable's cardinality.  Rows whose evidence
+        is impossible are all-zero.
+    evidence_probability:
+        ``(devices,)`` per-row ``P(evidence)``; ``<= 0`` marks impossible
+        rows.
+    """
+
+    __slots__ = ("variables", "state_names", "planes",
+                 "evidence_probability", "_index")
+
+    def __init__(self, variables: tuple[str, ...],
+                 state_names: dict[str, list[str]], planes: np.ndarray,
+                 evidence_probability: np.ndarray) -> None:
+        self.variables = variables
+        self.state_names = state_names
+        self.planes = planes
+        self.evidence_probability = evidence_probability
+        self._index = {variable: i for i, variable in enumerate(variables)}
+
+    def __len__(self) -> int:
+        return self.planes.shape[0]
+
+    def distribution(self, row: int, variable: str) -> dict[str, float]:
+        """Return one ``{state: probability}`` cell of the planes."""
+        try:
+            plane = self.planes[row, self._index[variable]]
+        except KeyError:
+            raise InferenceError(
+                f"variable {variable!r} is not a free variable of this "
+                f"compiled program") from None
+        names = self.state_names[variable]
+        return {name: float(value)
+                for name, value in zip(names, plane)}
+
+    def distributions(self, row: int) -> dict[str, dict[str, float]] | None:
+        """All marginals of one device; ``None`` for impossible evidence."""
+        if not self.evidence_probability[row] > 0.0:
+            return None
+        return {variable: self.distribution(row, variable)
+                for variable in self.variables}
+
+
+class CompiledProgram:
+    """A traced, ready-to-execute all-marginals inference program.
+
+    Built by :func:`compile_posteriors` (or the engines'
+    ``compile_posteriors`` methods) for one network and one fixed set of
+    evidence variables; evidence *values* are per-call inputs.  Single
+    queries execute over preallocated buffers, so :meth:`run` is not
+    re-entrant — concurrent callers transparently fall back to an
+    allocation-per-op plan.
+
+    Attributes
+    ----------
+    schedule:
+        ``"ve"`` or ``"jt"`` — which engine's sweep was traced.
+    evidence_vars:
+        The evidence signature (sorted variable names).
+    variables:
+        Free variables answered by the program, in network node order.
+    cpd_version:
+        The network's CPD generation this program pinned; stale programs
+        must be recompiled after CPD replacement.
+    compile_ms:
+        Wall-clock compile time in milliseconds.
+    """
+
+    def __init__(self, network: BayesianNetwork, schedule: str,
+                 builder: _ProgramBuilder) -> None:
+        self.network = network
+        self.schedule = schedule
+        self.evidence_vars = builder.evidence_vars
+        self.variables = tuple(node for node in network.nodes
+                               if node not in builder.evidence_pos)
+        self.state_names = {node: list(network.state_names(node))
+                            for node in network.nodes}
+        self.cpd_version = network.cpd_version
+        self.compile_ms = 0.0
+        self.run_count = 0
+        self.batch_run_count = 0
+        self._cards = {v: network.cardinality(v) for v in network.nodes}
+        self.max_states = max((self._cards[v] for v in self.variables),
+                              default=0)
+        self._evidence_lookup = {
+            v: {name: i for i, name in enumerate(self.state_names[v])}
+            for v in self.evidence_vars}
+        self._leaves = tuple(builder.leaves)
+        self._total_regs = tuple(builder.total_regs)
+        self._marginal_regs = {v: builder.marginal_regs[v]
+                               for v in self.variables}
+        template: list = [None] * len(builder.meta)
+        for reg, values in builder.consts.items():
+            template[reg] = values
+        self._template = template
+        self._steps_single = _lower(builder, batch=False, buffers=True)
+        self._steps_unbuffered = _lower(builder, batch=False, buffers=False)
+        self._steps_batch = _lower(builder, batch=True, buffers=False)
+        self._buffer_lock = threading.Lock()
+
+    # ------------------------------------------------------------- encoding
+    @property
+    def op_count(self) -> int:
+        """Number of executable steps per query (plus one gather per leaf)."""
+        return len(self._steps_single)
+
+    def _state_code(self, variable: str, state: str | int) -> int:
+        if isinstance(state, (int, np.integer)):
+            index = int(state)
+            if not 0 <= index < self._cards[variable]:
+                raise InferenceError(
+                    f"state index {index} out of range for evidence "
+                    f"variable {variable!r}")
+            return index
+        try:
+            return self._evidence_lookup[variable][str(state)]
+        except KeyError:
+            raise InferenceError(
+                f"unknown state {state!r} for evidence variable "
+                f"{variable!r}; known states: "
+                f"{self.state_names[variable]}") from None
+
+    def encode_one(self, evidence: Evidence) -> np.ndarray:
+        """Encode one evidence mapping to the program's code vector."""
+        if set(evidence) != set(self.evidence_vars):
+            missing = sorted(set(self.evidence_vars) - set(evidence))
+            extra = sorted(set(evidence) - set(self.evidence_vars))
+            raise InferenceError(
+                "evidence does not match this compiled program's "
+                f"signature {self.evidence_vars}: "
+                f"missing {missing}, unexpected {extra}")
+        codes = np.empty(len(self.evidence_vars), dtype=np.int64)
+        for i, variable in enumerate(self.evidence_vars):
+            codes[i] = self._state_code(variable, evidence[variable])
+        return codes
+
+    def encode(self, evidence_list: Sequence[Evidence]) -> np.ndarray:
+        """Encode many evidence mappings to a ``(devices, vars)`` matrix."""
+        count = len(evidence_list)
+        codes = np.empty((count, len(self.evidence_vars)), dtype=np.int64)
+        for row, evidence in enumerate(evidence_list):
+            codes[row] = self.encode_one(evidence)
+        return codes
+
+    def _decode(self, codes: np.ndarray) -> dict[str, str]:
+        return {variable: self.state_names[variable][int(codes[i])]
+                for i, variable in enumerate(self.evidence_vars)}
+
+    def _validate_codes(self, codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes)
+        if codes.ndim != 2 or codes.shape[1] != len(self.evidence_vars):
+            raise InferenceError(
+                f"evidence matrix must have shape (devices, "
+                f"{len(self.evidence_vars)}), got {codes.shape}")
+        codes = codes.astype(np.int64, copy=False)
+        for i, variable in enumerate(self.evidence_vars):
+            column = codes[:, i]
+            if column.size and (column.min() < 0
+                                or column.max() >= self._cards[variable]):
+                raise InferenceError(
+                    f"state index out of range for evidence variable "
+                    f"{variable!r} in the evidence matrix")
+        return codes
+
+    # ------------------------------------------------------------ execution
+    def _gather_single(self, regs: list, codes: np.ndarray) -> None:
+        for reg, plane, columns, multipliers, shape in self._leaves:
+            index = 0
+            for column, multiplier in zip(columns, multipliers):
+                index += int(codes[column]) * multiplier
+            regs[reg] = plane[index].reshape(shape)
+
+    def run(self, evidence: Evidence | np.ndarray | None = None
+            ) -> dict[str, np.ndarray]:
+        """Answer one device: every free-variable posterior marginal.
+
+        ``evidence`` is a ``{variable: state}`` mapping over exactly the
+        program's evidence variables (or a pre-encoded code vector).
+        Returns ``{variable: (card,) ndarray}`` of normalised posteriors.
+        Raises :class:`~repro.exceptions.ImpossibleEvidenceError` for
+        zero-probability evidence and
+        :class:`~repro.exceptions.InferenceError` for corrupted CPDs.
+        """
+        if isinstance(evidence, np.ndarray):
+            codes = evidence.astype(np.int64, copy=False)
+        else:
+            codes = self.encode_one(evidence or {})
+        buffered = self._buffer_lock.acquire(blocking=False)
+        try:
+            steps = self._steps_single if buffered \
+                else self._steps_unbuffered
+            regs = self._template.copy()
+            self._gather_single(regs, codes)
+            _execute(steps, regs)
+            total = 1.0
+            for reg in self._total_regs:
+                total *= float(regs[reg])
+            if not math.isfinite(total):
+                raise InferenceError(_NON_FINITE_MESSAGE)
+            if not total > 0.0:
+                raise ImpossibleEvidenceError(
+                    _ZERO_PROBABILITY_MESSAGE,
+                    evidence=self._decode(codes))
+            marginals = {}
+            for variable, reg in self._marginal_regs.items():
+                values = regs[reg]
+                marginals[variable] = values / values.sum()
+            self.run_count += 1
+            return marginals
+        finally:
+            if buffered:
+                self._buffer_lock.release()
+
+    def posteriors(self, evidence: Evidence | None = None
+                   ) -> dict[str, dict[str, float]]:
+        """:meth:`run`, with the marginals expanded to state-name dicts."""
+        marginals = self.run(evidence)
+        return {variable: dict(zip(self.state_names[variable],
+                                   (float(p) for p in values)))
+                for variable, values in marginals.items()}
+
+    def run_batch(self, evidence: Sequence[Evidence] | np.ndarray, *,
+                  on_impossible: str = "raise") -> BatchPosteriors:
+        """Push a whole failing population through the program at once.
+
+        ``evidence`` is a sequence of evidence mappings or a pre-encoded
+        ``(devices, len(evidence_vars))`` integer state matrix.  One
+        vectorised pass executes the op-list with a leading device axis;
+        the result holds ``(devices, variables, states)`` posterior planes
+        plus per-device evidence probabilities.
+
+        ``on_impossible`` decides what a zero-probability row does:
+        ``"raise"`` (default) aborts with
+        :class:`~repro.exceptions.ImpossibleEvidenceError` naming the row;
+        ``"mask"`` zeroes the row's planes and lets
+        ``evidence_probability`` flag it.
+        """
+        if on_impossible not in ("raise", "mask"):
+            raise InferenceError(
+                f"unknown on_impossible mode {on_impossible!r}; "
+                "use 'raise' or 'mask'")
+        if isinstance(evidence, np.ndarray):
+            codes = self._validate_codes(evidence)
+        else:
+            codes = self.encode(list(evidence))
+        count = codes.shape[0]
+        if count == 0:
+            return BatchPosteriors(
+                self.variables,
+                {v: self.state_names[v] for v in self.variables},
+                np.zeros((0, len(self.variables), self.max_states)),
+                np.ones(0))
+        regs = self._template.copy()
+        for reg, plane, columns, multipliers, shape in self._leaves:
+            index = codes[:, columns[0]] * multipliers[0]
+            for column, multiplier in zip(columns[1:], multipliers[1:]):
+                index = index + codes[:, column] * multiplier
+            regs[reg] = plane[index].reshape((count,) + shape)
+        _execute(self._steps_batch, regs)
+        total = np.ones(count)
+        for reg in self._total_regs:
+            total = total * np.asarray(regs[reg])
+        if not np.all(np.isfinite(total)):
+            raise InferenceError(_NON_FINITE_MESSAGE)
+        impossible = ~(total > 0.0)
+        if impossible.any() and on_impossible == "raise":
+            row = int(np.argmax(impossible))
+            raise ImpossibleEvidenceError(
+                _ZERO_PROBABILITY_MESSAGE + f" (device row {row})",
+                evidence=self._decode(codes[row]))
+        planes = np.zeros((count, len(self.variables), self.max_states))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            for slot, variable in enumerate(self.variables):
+                values = regs[self._marginal_regs[variable]]
+                if values.ndim == 1:
+                    values = np.broadcast_to(values, (count,) + values.shape)
+                sums = values.sum(axis=-1, keepdims=True)
+                planes[:, slot, :values.shape[-1]] = np.where(
+                    sums > 0, values / np.where(sums > 0, sums, 1.0), 0.0)
+        if impossible.any():
+            planes[impossible] = 0.0
+        self.batch_run_count += 1
+        return BatchPosteriors(
+            self.variables,
+            {v: self.state_names[v] for v in self.variables},
+            planes, total)
+
+
+# ----------------------------------------------------------------- compile
+def compile_from_engine(engine, evidence_vars, schedule: str
+                        ) -> CompiledProgram:
+    """Trace ``engine``'s sweep for ``evidence_vars`` into a program.
+
+    Used by the engines' ``compile_posteriors`` methods; ``engine`` is a
+    :class:`~repro.bayesnet.inference.variable_elimination.VariableElimination`
+    (``schedule="ve"``) or
+    :class:`~repro.bayesnet.inference.junction_tree.JunctionTree`
+    (``schedule="jt"``).
+    """
+    if schedule not in SCHEDULES:
+        raise InferenceError(
+            f"unknown compile schedule {schedule!r}; use one of {SCHEDULES}")
+    started = time.perf_counter()
+    network = engine.network
+    signature = tuple(sorted(dict.fromkeys(evidence_vars)))
+    for variable in signature:
+        if variable not in network.graph:
+            raise InferenceError(
+                f"unknown evidence variable {variable!r}")
+    builder = _ProgramBuilder(network, signature)
+    if schedule == "ve":
+        engine._refresh_caches()
+        _trace_ve(builder, engine)
+    else:
+        _trace_jt(builder, engine)
+    program = CompiledProgram(network, schedule, builder)
+    program.compile_ms = (time.perf_counter() - started) * 1e3
+    return program
+
+
+def compile_posteriors(network: BayesianNetwork,
+                       evidence_vars: Sequence[str], *,
+                       schedule: str = "jt") -> CompiledProgram:
+    """Compile an all-marginals program for one evidence signature.
+
+    Convenience entry point that builds a fresh engine; hold on to an
+    engine and call its ``compile_posteriors`` method to share its
+    structures (elimination orders, the built tree) across signatures.
+    """
+    if schedule == "jt":
+        from repro.bayesnet.inference.junction_tree import JunctionTree
+        return JunctionTree(network).compile_posteriors(evidence_vars)
+    if schedule == "ve":
+        from repro.bayesnet.inference.variable_elimination import (
+            VariableElimination,
+        )
+        return VariableElimination(network).compile_posteriors(evidence_vars)
+    raise InferenceError(
+        f"unknown compile schedule {schedule!r}; use one of {SCHEDULES}")

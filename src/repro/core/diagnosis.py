@@ -15,6 +15,8 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Mapping, Sequence
 
+import numpy as np
+
 from repro.bayesnet.inference import (
     GibbsSampling,
     JunctionTree,
@@ -352,6 +354,17 @@ class DiagnosisEngine:
         defaults to the ``REPRO_EVIDENCE_CACHE_SIZE`` environment variable
         or 128.  The per-engine (and therefore per-serving-worker) memory
         knob; ignored by the samplers.
+    compiled:
+        When true (and the engine is exact), posterior updates run through
+        ahead-of-time :class:`~repro.bayesnet.inference.CompiledProgram`
+        op-lists: the engine's sweep is traced once per evidence-variable
+        signature (compile-on-first-use, invalidated when CPDs are
+        replaced, like the evidence caches) and every query after that is
+        pure array execution — the sub-millisecond single-device path and
+        the vectorised ``diagnose_batch`` sweep.  Ignored by the
+        samplers.  ``compile_count`` / ``compile_ms`` /
+        ``compiled_query_count`` expose what compilation cost and how many
+        queries it served.
     abnormal_threshold:
         Fail probability above which an internal block counts as *abnormal*
         (clearly not in its healthy state).
@@ -365,7 +378,8 @@ class DiagnosisEngine:
                  ambiguous_threshold: float = 0.4, *,
                  num_samples: int | None = None,
                  seed: int | None = None,
-                 cache_size: int | None = None) -> None:
+                 cache_size: int | None = None,
+                 compiled: bool = False) -> None:
         if not 0.0 < ambiguous_threshold <= abnormal_threshold <= 1.0:
             raise DiagnosisError(
                 "thresholds must satisfy 0 < ambiguous <= abnormal <= 1, got "
@@ -394,10 +408,65 @@ class DiagnosisEngine:
             raise DiagnosisError(
                 f"unknown inference engine {inference!r}; "
                 f"use one of {ENGINE_NAMES}")
+        # Compilation only applies to the exact engines; the samplers have
+        # no static sweep to trace.
+        self.compiled = bool(compiled) and inference in ("jt", "ve")
+        self._programs: dict[tuple[str, ...], object] = {}
+        self._programs_version: int | None = None
+        self.compile_count = 0
+        self.compile_ms = 0.0
+        self.compiled_query_count = 0
+
+    # ----------------------------------------------------------- compilation
+    def _program_for(self, signature: tuple[str, ...]):
+        """Return the compiled program for one evidence-variable signature.
+
+        Compile-on-first-use keyed by the sorted evidence-variable tuple;
+        the whole program cache is dropped when the network's CPDs are
+        replaced (``cpd_version`` advances), mirroring how the interpreted
+        evidence caches invalidate.
+        """
+        version = self.network.cpd_version
+        if self._programs_version != version:
+            self._programs.clear()
+            self._programs_version = version
+        program = self._programs.get(signature)
+        if program is None:
+            program = self._engine.compile_posteriors(signature)
+            self._programs[signature] = program
+            self.compile_count += 1
+            self.compile_ms += program.compile_ms
+        return program
+
+    def warm_compile(self, evidence_vars: Sequence[str] | None = None
+                     ) -> float:
+        """Precompile the standard-workload program; return its cost in ms.
+
+        ``evidence_vars`` defaults to every non-internal model variable —
+        the full controllable+observable evidence a tester produces, which
+        is the signature real diagnostic traffic carries.  Serving workers
+        call this once at init so the first request never pays the compile.
+        No-op (0.0) on non-compiled engines.
+        """
+        if not self.compiled:
+            return 0.0
+        if evidence_vars is None:
+            internal = set(self.model.internal_variables)
+            evidence_vars = [variable
+                             for variable in self.model.variable_names
+                             if variable not in internal]
+        before = self.compile_ms
+        self._program_for(tuple(sorted(set(evidence_vars))))
+        return self.compile_ms - before
 
     # --------------------------------------------------------------- posteriors
     def initial_probabilities(self) -> dict[str, dict[str, float]]:
         """Return the prior marginals of every variable (the Init.% column)."""
+        if self.compiled:
+            self.compiled_query_count += 1
+            computed = self._program_for(()).posteriors({})
+            return {variable: computed[variable]
+                    for variable in self.model.variable_names}
         return self._engine.posteriors(self.model.variable_names, evidence={})
 
     def update(self, evidence: Mapping[str, str]) -> dict[str, dict[str, float]]:
@@ -410,7 +479,12 @@ class DiagnosisEngine:
         evidence = validate_evidence(self.model, evidence)
         free = [variable for variable in self.model.variable_names
                 if variable not in evidence]
-        computed = self._engine.posteriors(free, evidence)
+        if self.compiled:
+            program = self._program_for(tuple(sorted(evidence)))
+            self.compiled_query_count += 1
+            computed = program.posteriors(evidence)
+        else:
+            computed = self._engine.posteriors(free, evidence)
         posteriors: dict[str, dict[str, float]] = {}
         for variable in self.model.variable_names:
             if variable in evidence:
@@ -584,6 +658,9 @@ class DiagnosisEngine:
         if names is not None and len(names) != len(cases):
             raise DiagnosisError(
                 f"got {len(names)} names for {len(cases)} cases")
+        if deadline is None and type(self) is DiagnosisEngine \
+                and self.compiled:
+            return self._diagnose_batch_compiled(cases, names, on_error)
         if (deadline is None and type(self) is DiagnosisEngine
                 and isinstance(self._engine, VariableElimination)):
             return self._diagnose_batch_ve(cases, names, on_error)
@@ -671,6 +748,96 @@ class DiagnosisEngine:
                                          key=lambda item: item[1],
                                          reverse=True),
             )
+        if on_error == "skip":
+            return [result for result in results
+                    if isinstance(result, Diagnosis)]
+        return results
+
+    def _diagnose_batch_compiled(self, cases, names, on_error):
+        """Compiled fast path of :meth:`diagnose_batch`.
+
+        Case preparation and evidence validation stay per-case (isolation
+        semantics identical to the scalar loop); valid cases are grouped by
+        evidence-variable signature, each group's evidence is encoded into
+        one integer state matrix, deduplicated, and pushed through the
+        group's :class:`~repro.bayesnet.inference.CompiledProgram` as one
+        vectorised ``run_batch`` sweep.
+        """
+        results: list[Diagnosis | DiagnosisFailure | None] = [None] * len(cases)
+        groups: dict[tuple[str, ...],
+                     list[tuple[int, str, dict[str, str]]]] = {}
+        for index, case in enumerate(cases):
+            if isinstance(case, DiagnosticCase):
+                name = case.name
+                raw = case.raw_evidence()
+            else:
+                name = names[index] if names is not None else f"case-{index}"
+                raw = {str(variable): str(state)
+                       for variable, state in case.items()}
+            try:
+                if not isinstance(case, DiagnosticCase):
+                    case = self._case_from_evidence(case, name)
+                evidence = validate_evidence(self.model, case.evidence())
+            except Exception as error:
+                if on_error == "raise":
+                    raise
+                results[index] = DiagnosisFailure.from_exception(
+                    name, raw, error,
+                    attempts=tuple(getattr(error, "attempts", ()) or ()),
+                    wall_time=float(getattr(error, "wall_time", 0.0) or 0.0))
+                continue
+            signature = tuple(sorted(evidence))
+            groups.setdefault(signature, []).append((index, name, evidence))
+
+        variable_names = self.model.variable_names
+        labels = {variable: self.model.state_table(variable).labels
+                  for variable in variable_names}
+        for signature, slots in groups.items():
+            program = self._program_for(signature)
+            codes = program.encode([evidence for _, _, evidence in slots])
+            unique, inverse = np.unique(codes, axis=0, return_inverse=True)
+            inverse = np.asarray(inverse).reshape(-1)
+            batch = program.run_batch(unique, on_impossible="mask")
+            self.compiled_query_count += len(slots)
+            # One marginal-dict set per unique evidence row; duplicated
+            # devices share them, exactly like the evidence-cache hits of
+            # the interpreted batch path.
+            computed_rows: dict[int, dict[str, dict[str, float]]] = {}
+            for (index, name, evidence), row in zip(slots, inverse):
+                row = int(row)
+                if not batch.evidence_probability[row] > 0.0:
+                    error = ImpossibleEvidenceError(
+                        "the evidence has zero probability under the model; "
+                        "posteriors are undefined", evidence=evidence)
+                    if on_error == "raise":
+                        raise error
+                    results[index] = DiagnosisFailure.from_exception(
+                        name, evidence, error)
+                    continue
+                computed = computed_rows.get(row)
+                if computed is None:
+                    computed = batch.distributions(row)
+                    computed_rows[row] = computed
+                posteriors: dict[str, dict[str, float]] = {}
+                for variable in variable_names:
+                    if variable in evidence:
+                        observed = evidence[variable]
+                        posteriors[variable] = {
+                            label: 1.0 if label == observed else 0.0
+                            for label in labels[variable]}
+                    else:
+                        posteriors[variable] = computed[variable]
+                fail = self._internal_fail_probabilities(posteriors)
+                results[index] = Diagnosis(
+                    case_name=name,
+                    evidence=evidence,
+                    posteriors=posteriors,
+                    fail_probabilities=fail,
+                    suspects=self._deduce_from_fail(fail),
+                    ranked_candidates=sorted(fail.items(),
+                                             key=lambda item: item[1],
+                                             reverse=True),
+                )
         if on_error == "skip":
             return [result for result in results
                     if isinstance(result, Diagnosis)]

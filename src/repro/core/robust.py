@@ -117,6 +117,14 @@ class FallbackPolicy:
         the per-worker memory knob for serving fleets.  ``None`` defers to
         the ``REPRO_EVIDENCE_CACHE_SIZE`` environment variable / the
         library default (128).
+    compiled:
+        When true, exact engines in the chain serve posterior updates from
+        ahead-of-time compiled inference programs
+        (:class:`~repro.bayesnet.inference.CompiledProgram`) — traced once
+        per evidence-variable signature, invalidated on CPD replacement.
+        Serving workers additionally precompile at init
+        (``warm_compile``) so the first request never pays the trace.
+        Approximate engines ignore the flag.
     """
 
     chain: tuple[str, ...] = ("ve", "lw", "gibbs")
@@ -128,6 +136,7 @@ class FallbackPolicy:
     min_effective_sample_size: float = 50.0
     on_invalid_evidence: str = "raise"
     evidence_cache_size: int | None = None
+    compiled: bool = False
 
     def __post_init__(self) -> None:
         if not self.chain:
@@ -183,7 +192,8 @@ class RobustDiagnosisEngine(DiagnosisEngine):
                          ambiguous_threshold=ambiguous_threshold,
                          num_samples=self.policy.num_samples,
                          seed=self.policy.seed,
-                         cache_size=self.policy.evidence_cache_size)
+                         cache_size=self.policy.evidence_cache_size,
+                         compiled=self.policy.compiled)
         # The primary engine is the one the superclass already built; the
         # fallback engines are constructed lazily on first degradation so a
         # healthy serving path never pays for them.
@@ -200,7 +210,8 @@ class RobustDiagnosisEngine(DiagnosisEngine):
                 ambiguous_threshold=self.ambiguous_threshold,
                 num_samples=self.policy.num_samples,
                 seed=self.policy.seed,
-                cache_size=self.policy.evidence_cache_size)
+                cache_size=self.policy.evidence_cache_size,
+                compiled=self.policy.compiled)
             self._fallback_engines[name] = engine
         return engine
 

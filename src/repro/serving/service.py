@@ -336,6 +336,8 @@ class DiagnosisService:
         self._retries = 0
         self._respawns = 0
         self._probes = 0
+        self._compile_ms = 0.0
+        self._compiled_queries = 0
         self._latency = LatencyWindow()
         self._start_time = time.monotonic()
 
@@ -510,7 +512,9 @@ class DiagnosisService:
                 probes=self._probes,
                 chunk_latency_p50=self._latency.percentile(50.0),
                 chunk_latency_p99=self._latency.percentile(99.0),
-                uptime=time.monotonic() - self._start_time)
+                uptime=time.monotonic() - self._start_time,
+                compile_ms=self._compile_ms,
+                compiled_queries=self._compiled_queries)
 
     # -------------------------------------------------------------- shutdown
     def shutdown(self, drain: bool = True,
@@ -635,6 +639,10 @@ class DiagnosisService:
         if kind == "ready":
             if worker.state == "starting":
                 worker.state = "idle"
+            if len(message) > 2:
+                # Workers with compiled policies report their one-time
+                # program-trace cost alongside readiness.
+                self._compile_ms += float(message[2])
             self._dispatch(now)
         elif kind == "done":
             self._complete_chunk(worker, message, now)
@@ -650,7 +658,7 @@ class DiagnosisService:
                                   now)
 
     def _complete_chunk(self, worker: _Worker, message, now: float) -> None:
-        _, chunk_id, results, elapsed = message
+        _, chunk_id, results, elapsed = message[:4]
         chunk = worker.chunk
         if chunk is None or chunk.chunk_id != chunk_id:
             return  # stale (should not happen: one pipe per process)
@@ -659,6 +667,8 @@ class DiagnosisService:
         worker.state = "idle"
         worker.breaker.record_success()
         self._latency.record(elapsed)
+        if len(message) > 4:
+            self._compiled_queries += int(message[4])
         self._in_flight_cases -= len(chunk.pairs)
         for slot, result in results:
             self._write_slot(chunk.request, slot, result)

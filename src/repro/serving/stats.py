@@ -78,6 +78,13 @@ class ServiceStats:
         before any chunk completed).
     uptime:
         Seconds since the service started.
+    compile_ms:
+        Total milliseconds workers spent ahead-of-time compiling inference
+        programs at init (0.0 for non-compiled policies) — the one-time
+        cost the warm-compile step keeps out of first-chunk latency.
+    compiled_queries:
+        Lifetime count of posterior queries served from compiled programs
+        across all workers.
     """
 
     workers: int
@@ -95,6 +102,8 @@ class ServiceStats:
     chunk_latency_p50: float | None
     chunk_latency_p99: float | None
     uptime: float
+    compile_ms: float = 0.0
+    compiled_queries: int = 0
 
     def to_dict(self) -> dict:
         """Return a JSON-safe dict of the snapshot."""

@@ -13,10 +13,13 @@ parent -> worker
     ``("stop",)`` — graceful exit.
 
 worker -> parent
-    ``("ready", pid)`` once the engine is built,
+    ``("ready", pid, compile_ms)`` once the engine is built (and, for
+    compiled policies, warm-compiled — the compile cost is reported here
+    instead of silently inflating the first chunk's latency),
     ``("done", chunk_id, [(slot, Diagnosis | DiagnosisFailure), ...],
-    elapsed)`` per chunk, ``("probe-ok", probe_id)`` per probe, and
-    ``("fatal", message)`` if the engine cannot even be constructed.
+    elapsed, compiled_queries)`` per chunk, ``("probe-ok", probe_id)`` per
+    probe, and ``("fatal", message)`` if the engine cannot even be
+    constructed.
 
 Every per-case failure inside a healthy worker is converted to a structured
 :class:`~repro.core.diagnosis.DiagnosisFailure` *here*, so the only way a
@@ -27,6 +30,7 @@ the supervisor detects via the process sentinel.
 from __future__ import annotations
 
 import dataclasses
+import logging
 import time
 import traceback
 
@@ -64,6 +68,17 @@ def worker_main(conn, payload: WorkerPayload) -> None:
             payload.built_model, payload.policy,
             abnormal_threshold=payload.abnormal_threshold,
             ambiguous_threshold=payload.ambiguous_threshold)
+        compile_ms = 0.0
+        if getattr(payload.policy, "compiled", False):
+            # Pay the one-time program trace here, before the worker
+            # reports ready, so the first chunk's latency is pure query
+            # cost.  The cost is logged once per worker and reported to the
+            # supervisor for the service-wide ``ServiceStats.compile_ms``
+            # counter.
+            compile_ms = engine.warm_compile()
+            logging.getLogger("repro.serving").info(
+                "worker %d compiled inference programs in %.1f ms",
+                payload.worker_index, compile_ms)
     except Exception:  # noqa: BLE001 - reported to the supervisor
         try:
             conn.send(("fatal", traceback.format_exc()))
@@ -74,7 +89,7 @@ def worker_main(conn, payload: WorkerPayload) -> None:
     chaos = payload.chaos
     chunk_number = 0
     try:
-        conn.send(("ready", os.getpid()))
+        conn.send(("ready", os.getpid(), compile_ms))
         while True:
             try:
                 message = conn.recv()
@@ -91,9 +106,11 @@ def worker_main(conn, payload: WorkerPayload) -> None:
             if chaos is not None:
                 chaos.on_chunk(chunk_number, payload.generation)
             started = time.perf_counter()
+            queries_before = engine.compiled_query_count
             results = _run_chunk(engine, pairs, budget, chaos)
             conn.send(("done", chunk_id, results,
-                       time.perf_counter() - started))
+                       time.perf_counter() - started,
+                       engine.compiled_query_count - queries_before))
     except (EOFError, OSError, BrokenPipeError):
         pass
     finally:
