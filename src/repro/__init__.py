@@ -86,6 +86,7 @@ from repro.core import (
     StateTable,
 )
 from repro.bayesnet import BayesianNetwork, TabularCPD
+from repro.persist import ModelRegistry, PosteriorCache, model_fingerprint
 from repro.serving import DiagnosisService, ServiceConfig, ServiceStats
 
 __version__ = "1.1.0"
@@ -110,5 +111,8 @@ __all__ = [
     "DiagnosisService",
     "ServiceConfig",
     "ServiceStats",
+    "ModelRegistry",
+    "PosteriorCache",
+    "model_fingerprint",
     "__version__",
 ]

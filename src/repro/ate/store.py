@@ -27,6 +27,8 @@ the learning layer:
 from __future__ import annotations
 
 import json
+import os
+import zlib
 from collections.abc import Mapping, Sequence
 from pathlib import Path
 
@@ -35,12 +37,15 @@ import numpy as np
 from repro.ate.datalog import DatalogRecord, DeviceDatalog
 from repro.ate.tester import DeviceResult, Measurement
 from repro.circuits.faults import BlockFault, FaultMode
-from repro.exceptions import ATEError
+from repro.exceptions import ATEError, StoreCorruptionError
 
 _META_FILE = "meta.json"
 _ARRAY_FILES = ("values", "passed", "device_ids",
                 "fault_index", "fault_blocks", "fault_modes",
                 "fault_severities")
+
+#: Header magic carried by format-2 store metadata.
+STORE_MAGIC = "RDRS2"
 
 
 class DeviceResultStore:
@@ -253,7 +258,12 @@ class DeviceResultStore:
 
         The value/verdict planes (the only arrays that grow with the
         population) are stored as plain ``.npy`` files so :meth:`load` can
-        memory-map them.
+        memory-map them.  Every plane is written to a tmp file and
+        ``os.rename``d, its byte length and CRC32 are recorded in the
+        metadata (format 2, carrying header magic), and the metadata file
+        itself is committed last, also atomically — so a crash mid-save
+        leaves either the previous consistent store or a detectable
+        mismatch, never silently truncated arrays.
         """
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
@@ -263,9 +273,21 @@ class DeviceResultStore:
                   "fault_blocks": self.fault_blocks,
                   "fault_modes": self.fault_modes,
                   "fault_severities": self.fault_severities}
+        planes = {}
         for name, array in arrays.items():
-            np.save(path / f"{name}.npy", array, allow_pickle=False)
-        meta = {"format": 1,
+            target = path / f"{name}.npy"
+            tmp = path / f"{name}.npy.tmp.{os.getpid()}"
+            with open(tmp, "wb") as handle:
+                # Through a handle: np.save would append ".npy" to a bare
+                # tmp path, breaking the rename.
+                np.save(handle, array, allow_pickle=False)
+            blob = tmp.read_bytes()
+            planes[name] = {"bytes": len(blob),
+                            "crc32": zlib.crc32(blob)}
+            os.replace(tmp, target)
+        meta = {"format": 2,
+                "magic": STORE_MAGIC,
+                "planes": planes,
                 "test_numbers": [int(n) for n in self.test_numbers],
                 "test_names": self.test_names,
                 "blocks": self.blocks,
@@ -274,31 +296,72 @@ class DeviceResultStore:
                 "conditions": [{block: float(value)
                                 for block, value in mapping.items()}
                                for mapping in self.conditions]}
-        (path / _META_FILE).write_text(json.dumps(meta), encoding="ascii")
+        meta_tmp = path / f"{_META_FILE}.tmp.{os.getpid()}"
+        meta_tmp.write_text(json.dumps(meta), encoding="ascii")
+        os.replace(meta_tmp, path / _META_FILE)
         return path
 
     @classmethod
-    def load(cls, path: str | Path, *, mmap: bool = True) -> "DeviceResultStore":
+    def load(cls, path: str | Path, *, mmap: bool = True,
+             verify: bool = True) -> "DeviceResultStore":
         """Load a store saved by :meth:`save`.
 
         With ``mmap=True`` (default) the planes are memory-mapped read-only,
         so opening an ATE-scale population costs O(metadata) — pages stream
         in as the estimators touch them.
+
+        Format-2 stores carry header magic plus per-plane byte lengths and
+        CRC32 checksums; a truncated or bit-flipped plane raises a
+        structured :class:`~repro.exceptions.StoreCorruptionError` naming
+        the defect instead of silently yielding garbage arrays.  Length
+        checks are one ``stat`` per plane and always run; the CRC pass
+        reads each plane once (the pages stay hot for the mmap) and can be
+        skipped with ``verify=False`` when open cost must stay
+        O(metadata).  Legacy format-1 stores (no checksums recorded) still
+        load unverified.
         """
         path = Path(path)
         meta_path = path / _META_FILE
         if not meta_path.exists():
             raise ATEError(f"no columnar store at {path} (missing {_META_FILE})")
         meta = json.loads(meta_path.read_text(encoding="ascii"))
-        if meta.get("format") != 1:
+        version = meta.get("format")
+        if version not in (1, 2):
             raise ATEError(
-                f"unsupported columnar store format {meta.get('format')!r}")
+                f"unsupported columnar store format {version!r}")
+        planes = {}
+        if version == 2:
+            if meta.get("magic") != STORE_MAGIC:
+                raise StoreCorruptionError(
+                    f"columnar store at {path} does not carry the store "
+                    f"magic {STORE_MAGIC!r} (found {meta.get('magic')!r})",
+                    kind="bad-magic", path=str(meta_path))
+            planes = meta.get("planes", {})
         mode = "r" if mmap else None
         arrays = {}
         for name in _ARRAY_FILES:
             file = path / f"{name}.npy"
             if not file.exists():
-                raise ATEError(f"columnar store at {path} is missing {name}.npy")
+                error_cls = StoreCorruptionError if version == 2 else ATEError
+                raise error_cls(
+                    f"columnar store at {path} is missing {name}.npy",
+                    **({"kind": "missing-plane", "path": str(file)}
+                       if version == 2 else {}))
+            expected = planes.get(name)
+            if expected is not None:
+                size = file.stat().st_size
+                if size != int(expected["bytes"]):
+                    raise StoreCorruptionError(
+                        f"plane {name}.npy of the store at {path} is "
+                        f"{size} byte(s), expected {expected['bytes']} — "
+                        f"truncated or torn write", kind="truncated",
+                        path=str(file))
+                if verify and zlib.crc32(file.read_bytes()) \
+                        != int(expected["crc32"]):
+                    raise StoreCorruptionError(
+                        f"plane {name}.npy of the store at {path} failed "
+                        f"its CRC32 check — refusing to serve corrupted "
+                        f"measurements", kind="bad-crc", path=str(file))
             arrays[name] = np.load(file, mmap_mode=mode, allow_pickle=False)
         return cls(arrays["device_ids"], arrays["values"], arrays["passed"],
                    meta["test_numbers"], meta["test_names"], meta["blocks"],

@@ -819,6 +819,53 @@ class CompiledProgram:
             {v: self.state_names[v] for v in self.variables},
             planes, total)
 
+    # --------------------------------------------------------- serialization
+    def __getstate__(self) -> dict:
+        """Pickle support: drop the (unpicklable) buffer lock."""
+        state = self.__dict__.copy()
+        del state["_buffer_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._buffer_lock = threading.Lock()
+
+    def to_bytes(self) -> bytes:
+        """Serialize the traced op-list (trace once, ship everywhere).
+
+        The blob captures everything a query needs — pinned CPT planes,
+        lowered steps, contraction paths, buffers — so a receiving process
+        answers ``run``/``run_batch`` without touching the network or
+        re-tracing.  Pair with :meth:`from_bytes`; the durable cache stores
+        these keyed by model fingerprint, making a stale program
+        unreachable rather than wrong.
+        """
+        import pickle
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CompiledProgram":
+        """Deserialize a program written by :meth:`to_bytes`.
+
+        Raises :class:`~repro.exceptions.PersistError` when the blob does
+        not decode to a :class:`CompiledProgram` — callers treat that as a
+        cache miss and re-trace.
+        """
+        import pickle
+
+        from repro.exceptions import PersistError
+        try:
+            program = pickle.loads(blob)
+        except Exception as error:  # noqa: BLE001 - wrapped structurally
+            raise PersistError(
+                f"compiled-program blob does not deserialize: {error}"
+                ) from error
+        if not isinstance(program, cls):
+            raise PersistError(
+                f"compiled-program blob holds a "
+                f"{type(program).__name__}, not a CompiledProgram")
+        return program
+
 
 # ----------------------------------------------------------------- compile
 def compile_from_engine(engine, evidence_vars, schedule: str

@@ -379,7 +379,8 @@ class DiagnosisEngine:
                  num_samples: int | None = None,
                  seed: int | None = None,
                  cache_size: int | None = None,
-                 compiled: bool = False) -> None:
+                 compiled: bool = False,
+                 program_cache=None) -> None:
         if not 0.0 < ambiguous_threshold <= abnormal_threshold <= 1.0:
             raise DiagnosisError(
                 "thresholds must satisfy 0 < ambiguous <= abnormal <= 1, got "
@@ -416,6 +417,13 @@ class DiagnosisEngine:
         self.compile_count = 0
         self.compile_ms = 0.0
         self.compiled_query_count = 0
+        # Optional shared cross-process program cache (trace once, ship the
+        # op-list to every worker): a `repro.persist.PosteriorCache` keyed
+        # by content fingerprint, so entries of a replaced model are
+        # unreachable rather than wrong.
+        self.program_cache = program_cache if self.compiled else None
+        self.program_cache_hits = 0
+        self._fingerprints = None
 
     # ----------------------------------------------------------- compilation
     def _program_for(self, signature: tuple[str, ...]):
@@ -432,11 +440,55 @@ class DiagnosisEngine:
             self._programs_version = version
         program = self._programs.get(signature)
         if program is None:
-            program = self._engine.compile_posteriors(signature)
+            program = self._shared_program(signature)
+            if program is None:
+                program = self._engine.compile_posteriors(signature)
+                self.compile_count += 1
+                self.compile_ms += program.compile_ms
+                self._share_program(program)
             self._programs[signature] = program
-            self.compile_count += 1
-            self.compile_ms += program.compile_ms
         return program
+
+    def _model_fingerprint(self) -> str:
+        if self._fingerprints is None:
+            from repro.persist.fingerprint import FingerprintTracker
+            self._fingerprints = FingerprintTracker(self.network)
+        return self._fingerprints.current()
+
+    def _shared_program(self, signature: tuple[str, ...]):
+        """Try the shared cross-process cache before tracing locally.
+
+        A hit is only accepted when its schedule and evidence signature
+        match exactly; the content-fingerprint key already guarantees the
+        pinned CPT planes equal this engine's network bit-for-bit.
+        """
+        if self.program_cache is None:
+            return None
+        try:
+            program = self.program_cache.get_program(
+                self._model_fingerprint(), signature, self.inference_name)
+        except OSError:
+            return None
+        if program is None \
+                or tuple(program.evidence_vars) != tuple(signature) \
+                or program.schedule != self.inference_name:
+            return None
+        # Re-pin to this process's CPD generation counter (the fingerprint
+        # proved content equality; the counters are process-local).
+        program.cpd_version = self.network.cpd_version
+        self.program_cache_hits += 1
+        return program
+
+    def _share_program(self, program) -> None:
+        if self.program_cache is None:
+            return
+        try:
+            self.program_cache.put_program(self._model_fingerprint(),
+                                           program)
+        except (ReproError, OSError):
+            # Sharing is an optimisation; a full disk or a corrupt cache
+            # must never fail the diagnosis that triggered the trace.
+            pass
 
     def warm_compile(self, evidence_vars: Sequence[str] | None = None
                      ) -> float:

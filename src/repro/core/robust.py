@@ -59,6 +59,7 @@ from repro.exceptions import (
     EvidenceError,
     ImpossibleEvidenceError,
     InferenceTimeoutError,
+    ReproError,
 )
 
 #: Failure classes no retry or engine change can repair: the input itself is
@@ -185,7 +186,8 @@ class RobustDiagnosisEngine(DiagnosisEngine):
     def __init__(self, built_model: BuiltModel,
                  policy: FallbackPolicy | None = None,
                  abnormal_threshold: float = 0.5,
-                 ambiguous_threshold: float = 0.4) -> None:
+                 ambiguous_threshold: float = 0.4, *,
+                 posterior_cache=None) -> None:
         self.policy = policy or FallbackPolicy()
         super().__init__(built_model, inference=self.policy.chain[0],
                          abnormal_threshold=abnormal_threshold,
@@ -193,7 +195,16 @@ class RobustDiagnosisEngine(DiagnosisEngine):
                          num_samples=self.policy.num_samples,
                          seed=self.policy.seed,
                          cache_size=self.policy.evidence_cache_size,
-                         compiled=self.policy.compiled)
+                         compiled=self.policy.compiled,
+                         program_cache=posterior_cache)
+        # Optional durable shared cache (`repro.persist.PosteriorCache`):
+        # exact posteriors are served from / written to it keyed by the
+        # model's content fingerprint + the sanitised evidence signature.
+        # The same cache doubles as the compiled-program cache (wired to
+        # the superclass above).
+        self.posterior_cache = posterior_cache
+        self.cache_hits = 0
+        self.cache_misses = 0
         # The primary engine is the one the superclass already built; the
         # fallback engines are constructed lazily on first degradation so a
         # healthy serving path never pays for them.
@@ -211,7 +222,8 @@ class RobustDiagnosisEngine(DiagnosisEngine):
                 num_samples=self.policy.num_samples,
                 seed=self.policy.seed,
                 cache_size=self.policy.evidence_cache_size,
-                compiled=self.policy.compiled)
+                compiled=self.policy.compiled,
+                program_cache=self.posterior_cache)
             self._fallback_engines[name] = engine
         return engine
 
@@ -287,6 +299,15 @@ class RobustDiagnosisEngine(DiagnosisEngine):
             notes.append(
                 f"evidence sanitised: {len(issues)} issue(s), "
                 f"{len(dropped)} entry(ies) dropped")
+
+        if self.posterior_cache is not None:
+            cached = self._cached_posteriors(evidence)
+            if cached is not None:
+                attempts.append(AttemptRecord(
+                    "cache", "ok", time.perf_counter() - start))
+                return self._accept_cached(case, evidence, cached,
+                                           tuple(attempts), tuple(issues),
+                                           notes, start)
 
         policy = self.policy
         last_error: BaseException | None = None
@@ -396,11 +417,77 @@ class RobustDiagnosisEngine(DiagnosisEngine):
         issues.extend(sanitize_issues)
         return clean, tuple(issues)
 
+    def _cached_posteriors(self, evidence: Mapping[str, str]
+                           ) -> dict[str, dict[str, float]] | None:
+        """Durable-cache lookup; any I/O trouble degrades to a miss."""
+        try:
+            value = self.posterior_cache.get_posteriors(
+                self._model_fingerprint(), evidence)
+        except (ReproError, OSError):
+            value = None
+        if value is None:
+            self.cache_misses += 1
+            return None
+        self.cache_hits += 1
+        return value
+
+    def _store_posteriors(self, evidence: Mapping[str, str],
+                          posteriors: Mapping[str, Mapping[str, float]]
+                          ) -> None:
+        """Durably share an exact posterior set; failures never propagate."""
+        try:
+            self.posterior_cache.put_posteriors(
+                self._model_fingerprint(), evidence, posteriors)
+        except (ReproError, OSError):
+            pass
+
+    def _accept_cached(self, case: DiagnosticCase, evidence: dict[str, str],
+                       posteriors: dict[str, dict[str, float]],
+                       attempts: tuple[AttemptRecord, ...], issues: tuple,
+                       notes: list[str], start: float) -> Diagnosis:
+        """Build a Diagnosis from durably cached exact posteriors.
+
+        Only exact-engine results are ever written to the cache, so a hit
+        carries no effective-sample-size caveat; the provenance engine is
+        ``"cache"`` and the result is degraded only if the evidence
+        boundary had complaints.
+        """
+        degraded = bool(notes)
+        provenance = DiagnosisProvenance(
+            engine="cache", attempts=attempts,
+            wall_time=time.perf_counter() - start, degraded=degraded,
+            effective_sample_size=None, evidence_issues=issues,
+            notes=tuple(notes))
+        if degraded:
+            warnings.warn(
+                f"case {case.name!r} served degraded from the durable "
+                f"cache: " + "; ".join(notes), DegradedResultWarning,
+                stacklevel=3)
+        return self._build_diagnosis(case, evidence, posteriors, provenance)
+
+    def _build_diagnosis(self, case: DiagnosticCase,
+                         evidence: dict[str, str],
+                         posteriors: dict[str, dict[str, float]],
+                         provenance: DiagnosisProvenance) -> Diagnosis:
+        fail = {variable: self.fail_probability(variable, posteriors)
+                for variable in self.model.internal_variables}
+        return Diagnosis(
+            case_name=case.name, evidence=evidence, posteriors=posteriors,
+            fail_probabilities=fail,
+            suspects=self.deduce_candidates(posteriors),
+            ranked_candidates=self.rank_by_fail_probability(posteriors),
+            provenance=provenance)
+
     def _accept(self, case: DiagnosticCase, evidence: dict[str, str],
                 posteriors: dict[str, dict[str, float]], engine_name: str,
                 chain_position: int, attempts: tuple[AttemptRecord, ...],
                 issues: tuple, notes: list[str], start: float) -> Diagnosis:
         """Build the final Diagnosis + provenance from accepted posteriors."""
+        if self.posterior_cache is not None and engine_name in ("ve", "jt"):
+            # Only exact posteriors are durable: a sampled result is
+            # seed- and sample-count-dependent, and committing it would
+            # serve a degraded answer forever.
+            self._store_posteriors(evidence, posteriors)
         ess = self._effective_sample_size(engine_name)
         if ess is not None and ess < self.policy.min_effective_sample_size:
             notes.append(
@@ -420,14 +507,7 @@ class RobustDiagnosisEngine(DiagnosisEngine):
             warnings.warn(
                 f"case {case.name!r} served degraded by {engine_name!r}: "
                 + "; ".join(notes), DegradedResultWarning, stacklevel=3)
-        fail = {variable: self.fail_probability(variable, posteriors)
-                for variable in self.model.internal_variables}
-        return Diagnosis(
-            case_name=case.name, evidence=evidence, posteriors=posteriors,
-            fail_probabilities=fail,
-            suspects=self.deduce_candidates(posteriors),
-            ranked_candidates=self.rank_by_fail_probability(posteriors),
-            provenance=provenance)
+        return self._build_diagnosis(case, evidence, posteriors, provenance)
 
     def _effective_sample_size(self, engine_name: str) -> float | None:
         """Confidence signal of a sampled posterior; None for exact engines."""

@@ -11,6 +11,7 @@ from repro.serving.service import (
     DiagnosisService,
     ServiceConfig,
     ServiceFuture,
+    adapt_chunk_size,
 )
 from repro.serving.stats import LatencyWindow, ServiceStats
 from repro.serving.worker import WorkerPayload, worker_main
@@ -23,5 +24,6 @@ __all__ = [
     "ServiceFuture",
     "ServiceStats",
     "WorkerPayload",
+    "adapt_chunk_size",
     "worker_main",
 ]

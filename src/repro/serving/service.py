@@ -85,6 +85,28 @@ def _default_workers() -> int:
         return max(1, os.cpu_count() or 1)
 
 
+def adapt_chunk_size(current: int, per_case_p99: float | None,
+                     budget: float | None, minimum: int,
+                     maximum: int) -> int:
+    """One adaptive-chunking step: the next dispatch chunk size.
+
+    Sizes towards half the chunk latency ``budget`` at the observed
+    per-case p99 — half, so a p99-ish chunk still clears the budget with
+    room for dispatch jitter.  Each step at most halves or doubles the
+    current size (no oscillation on a noisy window) and the result is
+    clamped to ``[minimum, maximum]``.  With no samples or no budget the
+    size is only re-clamped.
+
+    Pure function of its inputs, so the policy is testable without a
+    service: feeding a latency spike shrinks the next chunk, a fast quiet
+    window grows it back.
+    """
+    if per_case_p99 is not None and per_case_p99 > 0 and budget is not None:
+        ideal = max(int(budget * 0.5 / per_case_p99), 1)
+        current = max(max(current // 2, 1), min(ideal, current * 2))
+    return max(minimum, min(current, maximum))
+
+
 @dataclasses.dataclass(frozen=True)
 class ServiceConfig:
     """Tuning knobs of the diagnosis service.
@@ -132,6 +154,20 @@ class ServiceConfig:
     chaos:
         Testing-only: a :class:`~repro.testing.chaos.WorkerChaos` applied
         to every worker, or a mapping ``{worker_index: WorkerChaos}``.
+    adaptive_chunking:
+        When true, the dispatch chunk size tracks observed per-case
+        latency: chunks shrink when the per-case p99 puts a chunk near its
+        latency budget (so hang reaping and deadline expiry fire on less
+        work) and grow back when cases run fast (amortising IPC).
+        ``chunk_size`` is the starting point; each adjustment at most
+        halves or doubles, clamped to ``[min_chunk_size, max_chunk_size]``.
+    min_chunk_size / max_chunk_size:
+        Clamp bounds of adaptive chunking.
+    chunk_latency_target:
+        Wall-clock seconds a chunk should aim to stay under.  ``None``
+        derives a quarter of ``chunk_timeout`` (a chunk then has 4x
+        headroom before hang reaping) and disables adaptation when
+        ``chunk_timeout`` is also ``None``.
     """
 
     num_workers: int | None = None
@@ -149,6 +185,10 @@ class ServiceConfig:
     probe_timeout: float = 10.0
     start_method: str | None = None
     chaos: object | None = None
+    adaptive_chunking: bool = False
+    min_chunk_size: int = 1
+    max_chunk_size: int = 256
+    chunk_latency_target: float | None = None
 
     def __post_init__(self) -> None:
         if self.num_workers is not None and self.num_workers < 1:
@@ -179,6 +219,33 @@ class ServiceConfig:
             raise ServingError(
                 "max_respawns_per_worker must be >= 0, got "
                 f"{self.max_respawns_per_worker}")
+        if self.min_chunk_size < 1:
+            raise ServingError(
+                f"min_chunk_size must be >= 1, got {self.min_chunk_size}")
+        if self.max_chunk_size < self.min_chunk_size:
+            raise ServingError(
+                f"max_chunk_size ({self.max_chunk_size}) must be >= "
+                f"min_chunk_size ({self.min_chunk_size})")
+        if not (self.min_chunk_size <= self.chunk_size
+                <= self.max_chunk_size) and self.adaptive_chunking:
+            raise ServingError(
+                f"chunk_size ({self.chunk_size}) must lie within "
+                f"[min_chunk_size, max_chunk_size] = "
+                f"[{self.min_chunk_size}, {self.max_chunk_size}] under "
+                f"adaptive chunking")
+        if self.chunk_latency_target is not None \
+                and self.chunk_latency_target <= 0:
+            raise ServingError(
+                "chunk_latency_target must be positive, got "
+                f"{self.chunk_latency_target}")
+
+    def resolved_latency_target(self) -> float | None:
+        """The chunk wall-clock budget adaptation steers towards."""
+        if self.chunk_latency_target is not None:
+            return self.chunk_latency_target
+        if self.chunk_timeout is not None:
+            return self.chunk_timeout / 4.0
+        return None
 
     def resolved_workers(self) -> int:
         return self.num_workers or _default_workers()
@@ -287,6 +354,18 @@ class DiagnosisService:
     abnormal_threshold / ambiguous_threshold:
         Candidate-deduction thresholds, as on
         :class:`~repro.core.diagnosis.DiagnosisEngine`.
+    persist_dir:
+        Optional directory of durable cross-process state.  When set,
+        every worker shares one crash-safe
+        :class:`~repro.persist.PosteriorCache` (posteriors + compiled
+        programs, under ``<persist_dir>/cache``) that survives worker
+        crashes *and* service restarts, and watches the
+        :class:`~repro.persist.ModelRegistry` under
+        ``<persist_dir>/models`` — a :meth:`publish_model` call hot-swaps
+        every worker's engine between chunks, no restart.  A published
+        registry model takes precedence over ``built_model``.
+    reload_poll_interval:
+        Seconds between a worker's registry version-stamp polls.
 
     Use as a context manager for deterministic drain-and-stop::
 
@@ -298,13 +377,17 @@ class DiagnosisService:
                  policy: FallbackPolicy | None = None,
                  config: ServiceConfig | None = None, *,
                  abnormal_threshold: float = 0.5,
-                 ambiguous_threshold: float = 0.4) -> None:
+                 ambiguous_threshold: float = 0.4,
+                 persist_dir: str | os.PathLike | None = None,
+                 reload_poll_interval: float = 0.5) -> None:
         self.built_model = built_model
         self.model = built_model.description
         self.policy = policy or FallbackPolicy()
         self.config = config or ServiceConfig()
         self._abnormal = abnormal_threshold
         self._ambiguous = ambiguous_threshold
+        self.persist_dir = None if persist_dir is None else str(persist_dir)
+        self._reload_poll_interval = float(reload_poll_interval)
 
         method = self.config.start_method
         if method is None:
@@ -339,6 +422,12 @@ class DiagnosisService:
         self._compile_ms = 0.0
         self._compiled_queries = 0
         self._latency = LatencyWindow()
+        self._case_latency = LatencyWindow(512)
+        self._chunk_size = self.config.chunk_size
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_quarantined = 0
+        self._model_reloads = 0
         self._start_time = time.monotonic()
 
         self._wakeup_r, self._wakeup_w = os.pipe()
@@ -376,7 +465,9 @@ class DiagnosisService:
             abnormal_threshold=self._abnormal,
             ambiguous_threshold=self._ambiguous,
             worker_index=worker.index, generation=worker.generation,
-            chaos=self.config.chaos_for(worker.index))
+            chaos=self.config.chaos_for(worker.index),
+            persist_dir=self.persist_dir,
+            reload_poll_interval=self._reload_poll_interval)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=worker_main, args=(child_conn, payload), daemon=True,
@@ -428,8 +519,7 @@ class DiagnosisService:
                 return request.future
             if deadline_end is not None:
                 self._deadline_requests += 1
-            for piece in chunk_slices(len(normalized),
-                                      self.config.chunk_size):
+            for piece in chunk_slices(len(normalized), self._chunk_size):
                 pairs = [(slot, normalized[slot])
                          for slot in range(piece.start, piece.stop)]
                 self._queue.append(_Chunk(next(self._chunk_ids), request,
@@ -514,7 +604,31 @@ class DiagnosisService:
                 chunk_latency_p99=self._latency.percentile(99.0),
                 uptime=time.monotonic() - self._start_time,
                 compile_ms=self._compile_ms,
-                compiled_queries=self._compiled_queries)
+                compiled_queries=self._compiled_queries,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                cache_quarantined=self._cache_quarantined,
+                model_reloads=self._model_reloads,
+                chunk_size=self._chunk_size)
+
+    def publish_model(self, built_model: BuiltModel, *,
+                      validate: bool = True) -> int:
+        """Publish a model to this service's registry; returns its version.
+
+        Requires ``persist_dir``.  The publish runs the full validation
+        gate (:class:`~repro.persist.ModelRegistry`); once the version
+        stamp flips, every worker hot-swaps at its next between-chunk poll
+        — in-flight chunks finish on the old model, no case is dropped.
+        """
+        if self.persist_dir is None:
+            raise ServingError(
+                "publish_model requires the service to be constructed "
+                "with persist_dir=...")
+        from pathlib import Path
+
+        from repro.persist import ModelRegistry
+        with ModelRegistry(Path(self.persist_dir) / "models") as registry:
+            return registry.publish(built_model, validate=validate)
 
     # -------------------------------------------------------------- shutdown
     def shutdown(self, drain: bool = True,
@@ -667,8 +781,22 @@ class DiagnosisService:
         worker.state = "idle"
         worker.breaker.record_success()
         self._latency.record(elapsed)
+        if chunk.pairs:
+            self._case_latency.record(elapsed / len(chunk.pairs))
         if len(message) > 4:
             self._compiled_queries += int(message[4])
+        if len(message) > 5 and message[5]:
+            deltas = message[5]
+            self._cache_hits += int(deltas.get("cache_hits", 0))
+            self._cache_misses += int(deltas.get("cache_misses", 0))
+            self._cache_quarantined += int(
+                deltas.get("cache_quarantined", 0))
+            self._model_reloads += int(deltas.get("model_reloads", 0))
+        if self.config.adaptive_chunking:
+            self._chunk_size = adapt_chunk_size(
+                self._chunk_size, self._case_latency.percentile(99.0),
+                self.config.resolved_latency_target(),
+                self.config.min_chunk_size, self.config.max_chunk_size)
         self._in_flight_cases -= len(chunk.pairs)
         for slot, result in results:
             self._write_slot(chunk.request, slot, result)

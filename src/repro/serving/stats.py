@@ -85,6 +85,20 @@ class ServiceStats:
     compiled_queries:
         Lifetime count of posterior queries served from compiled programs
         across all workers.
+    cache_hits / cache_misses:
+        Durable-cache lookups across all workers (0 without
+        ``persist_dir``): hits were answered from the shared on-disk
+        posterior cache without any inference.
+    cache_quarantined:
+        Corrupt durable-cache records detected, counted and skipped by
+        workers — every one of these was a wrong answer that *wasn't*
+        served.
+    model_reloads:
+        Hot model swaps workers performed after a registry publish.
+    chunk_size:
+        The service's current dispatch chunk size (moves between
+        ``min_chunk_size`` and ``max_chunk_size`` under adaptive
+        chunking; otherwise the configured constant).
     """
 
     workers: int
@@ -104,6 +118,11 @@ class ServiceStats:
     uptime: float
     compile_ms: float = 0.0
     compiled_queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_quarantined: int = 0
+    model_reloads: int = 0
+    chunk_size: int = 0
 
     def to_dict(self) -> dict:
         """Return a JSON-safe dict of the snapshot."""

@@ -17,9 +17,18 @@ worker -> parent
     compiled policies, warm-compiled — the compile cost is reported here
     instead of silently inflating the first chunk's latency),
     ``("done", chunk_id, [(slot, Diagnosis | DiagnosisFailure), ...],
-    elapsed, compiled_queries)`` per chunk, ``("probe-ok", probe_id)`` per
-    probe, and ``("fatal", message)`` if the engine cannot even be
-    constructed.
+    elapsed, compiled_queries, persist_deltas)`` per chunk
+    (``persist_deltas`` is a counter-delta dict — cache hits/misses,
+    quarantined records, model reloads — or ``None`` without
+    ``persist_dir``), ``("probe-ok", probe_id)`` per probe, and
+    ``("fatal", message)`` if the engine cannot even be constructed.
+
+With a ``persist_dir``, each worker opens the *shared* durable cache
+(posteriors + compiled programs survive crashes and restarts) and the
+model registry.  The registry is authoritative: when it holds a published
+model, the worker serves that instead of the payload's, and between chunks
+it polls the version stamp (throttled) — a bump hot-swaps a freshly built
+engine without dropping the chunk stream.
 
 Every per-case failure inside a healthy worker is converted to a structured
 :class:`~repro.core.diagnosis.DiagnosisFailure` *here*, so the only way a
@@ -57,6 +66,102 @@ class WorkerPayload:
     worker_index: int = 0
     generation: int = 0
     chaos: object | None = None
+    persist_dir: str | None = None
+    reload_poll_interval: float = 0.5
+
+
+class _PersistRuntime:
+    """Worker-side handle on the shared durable state.
+
+    Owns the worker's :class:`~repro.persist.PosteriorCache` and
+    :class:`~repro.persist.ModelRegistry` instances, throttles the
+    between-chunk version poll, and accumulates counter totals across hot
+    engine swaps so the supervisor receives clean per-chunk deltas.
+    """
+
+    def __init__(self, persist_dir: str, poll_interval: float) -> None:
+        from pathlib import Path
+
+        from repro.persist import ModelRegistry, PosteriorCache
+        base = Path(persist_dir)
+        self.cache = PosteriorCache(base / "cache")
+        self.registry = ModelRegistry(base / "models")
+        self.poll_interval = max(float(poll_interval), 0.0)
+        self.model_version = 0
+        self.reloads = 0
+        self._last_poll = float("-inf")
+        self._base_hits = 0
+        self._base_misses = 0
+        self._reported: dict[str, int] = {}
+
+    def resolve_model(self, fallback: BuiltModel) -> BuiltModel:
+        """The registry's published model wins over the shipped payload."""
+        from repro.exceptions import ModelRegistryError
+        try:
+            version, model = self.registry.load()
+        except ModelRegistryError:
+            logging.getLogger("repro.serving").warning(
+                "model registry unreadable; serving the payload model",
+                exc_info=True)
+            return fallback
+        if model is None:
+            return fallback
+        self.model_version = version
+        return model
+
+    def poll_reload(self) -> BuiltModel | None:
+        """Between-chunk version check; returns a new model on a bump.
+
+        Throttled to ``poll_interval`` so the stamp read never shows up in
+        chunk latency.  A corrupt or half-published registry is *not* a
+        reason to stop serving: the worker keeps its current model and
+        retries at the next poll.
+        """
+        from repro.exceptions import ModelRegistryError
+        now = time.monotonic()
+        if now - self._last_poll < self.poll_interval:
+            return None
+        self._last_poll = now
+        try:
+            version = self.registry.current_version()
+            if version <= self.model_version:
+                return None
+            model = self.registry.load_version(version)
+        except ModelRegistryError:
+            logging.getLogger("repro.serving").warning(
+                "model registry poll failed; keeping version %d",
+                self.model_version, exc_info=True)
+            return None
+        self.model_version = version
+        self.reloads += 1
+        return model
+
+    def note_engine_swap(self, old_engine: RobustDiagnosisEngine) -> None:
+        """Fold a retired engine's counters into the running totals."""
+        self._base_hits += old_engine.cache_hits
+        self._base_misses += old_engine.cache_misses
+
+    def deltas(self, engine: RobustDiagnosisEngine) -> dict[str, int]:
+        """Counter movement since the last report (sent per chunk)."""
+        totals = {
+            "cache_hits": self._base_hits + engine.cache_hits,
+            "cache_misses": self._base_misses + engine.cache_misses,
+            "cache_quarantined": self.cache.quarantined,
+            "model_reloads": self.reloads,
+        }
+        deltas = {key: value - self._reported.get(key, 0)
+                  for key, value in totals.items()}
+        self._reported = totals
+        return deltas
+
+
+def _build_engine(payload: WorkerPayload, model: BuiltModel,
+                  persist: _PersistRuntime | None) -> RobustDiagnosisEngine:
+    return RobustDiagnosisEngine(
+        model, payload.policy,
+        abnormal_threshold=payload.abnormal_threshold,
+        ambiguous_threshold=payload.ambiguous_threshold,
+        posterior_cache=None if persist is None else persist.cache)
 
 
 def worker_main(conn, payload: WorkerPayload) -> None:
@@ -64,10 +169,13 @@ def worker_main(conn, payload: WorkerPayload) -> None:
     import os
 
     try:
-        engine = RobustDiagnosisEngine(
-            payload.built_model, payload.policy,
-            abnormal_threshold=payload.abnormal_threshold,
-            ambiguous_threshold=payload.ambiguous_threshold)
+        persist = None
+        if payload.persist_dir is not None:
+            persist = _PersistRuntime(payload.persist_dir,
+                                      payload.reload_poll_interval)
+        model = payload.built_model if persist is None \
+            else persist.resolve_model(payload.built_model)
+        engine = _build_engine(payload, model, persist)
         compile_ms = 0.0
         if getattr(payload.policy, "compiled", False):
             # Pay the one-time program trace here, before the worker
@@ -105,12 +213,23 @@ def worker_main(conn, payload: WorkerPayload) -> None:
             chunk_number += 1
             if chaos is not None:
                 chaos.on_chunk(chunk_number, payload.generation)
+            if persist is not None:
+                fresh = persist.poll_reload()
+                if fresh is not None:
+                    # Hot swap: a fresh engine drops every stale evidence
+                    # and program cache with it, and the new model's
+                    # content fingerprint re-keys the durable cache.
+                    persist.note_engine_swap(engine)
+                    engine = _build_engine(payload, fresh, persist)
+                    if getattr(payload.policy, "compiled", False):
+                        engine.warm_compile()
             started = time.perf_counter()
             queries_before = engine.compiled_query_count
             results = _run_chunk(engine, pairs, budget, chaos)
             conn.send(("done", chunk_id, results,
                        time.perf_counter() - started,
-                       engine.compiled_query_count - queries_before))
+                       engine.compiled_query_count - queries_before,
+                       None if persist is None else persist.deltas(engine)))
     except (EOFError, OSError, BrokenPipeError):
         pass
     finally:

@@ -9,9 +9,12 @@ from repro.testing.chaos import (
     ChaosError,
     FaultInjector,
     WorkerChaos,
+    cache_segments,
     corrupt_cpd_table,
+    flip_byte,
     is_poison_case,
     poison_case,
+    truncate_tail,
     truncated_evidence,
 )
 
@@ -19,8 +22,11 @@ __all__ = [
     "ChaosError",
     "FaultInjector",
     "WorkerChaos",
+    "cache_segments",
     "corrupt_cpd_table",
+    "flip_byte",
     "is_poison_case",
     "poison_case",
+    "truncate_tail",
     "truncated_evidence",
 ]

@@ -300,3 +300,59 @@ class WorkerChaos:
             os.kill(os.getpid(), signal.SIGKILL)
         if self.slow_per_case > 0:
             time.sleep(self.slow_per_case)
+
+
+# --------------------------------------------------------- durable state
+def truncate_tail(path: str | os.PathLike, nbytes: int = 1) -> int:
+    """Chop the last ``nbytes`` off a file — the crash-mid-write shape.
+
+    Returns the file's new size.  Applied to a cache segment this
+    manufactures a torn append (the recovery scan must truncate back to
+    the last committed record); applied to a store plane it manufactures a
+    truncated mmap file (the load must raise a structured
+    ``StoreCorruptionError``).
+    """
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    new_size = max(size - int(nbytes), 0)
+    with open(path, "r+b") as handle:
+        handle.truncate(new_size)
+    return new_size
+
+
+def flip_byte(path: str | os.PathLike, offset: int | None = None, *,
+              seed: int | None = None) -> int:
+    """XOR one byte of a file with 0xFF — the bit-rot / torn-sector shape.
+
+    ``offset`` picks the byte; ``None`` draws one uniformly (seeded for
+    reproducibility).  Returns the offset flipped.  Every durable reader
+    in the library must *detect* this (CRC mismatch) rather than serve the
+    damaged value.
+    """
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ChaosError(f"cannot flip a byte of empty file {path}")
+    if offset is None:
+        offset = int(np.random.default_rng(seed).integers(0, size))
+    if not 0 <= offset < size:
+        raise ChaosError(
+            f"flip offset {offset} outside file of {size} byte(s)")
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    return offset
+
+
+def cache_segments(cache_dir: str | os.PathLike) -> list[str]:
+    """Paths of a :class:`~repro.persist.PosteriorCache`'s segment files.
+
+    Sorted by segment index, so ``cache_segments(d)[-1]`` is the active
+    (appended-to) segment — the natural target for torn-tail injection.
+    """
+    directory = os.fspath(cache_dir)
+    names = sorted(name for name in os.listdir(directory)
+                   if name.startswith("seg-") and name.endswith(".log"))
+    return [os.path.join(directory, name) for name in names]

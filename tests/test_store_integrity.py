@@ -1,0 +1,106 @@
+"""Integrity-checked columnar-store persistence (format 2).
+
+:meth:`DeviceResultStore.save` writes every plane atomically and records
+its byte length and CRC32 in a magic-carrying metadata file; ``load``
+verifies and raises a structured
+:class:`~repro.exceptions.StoreCorruptionError` naming the defect instead
+of serving garbage measurement planes.  Round-trip parity itself is covered
+in ``test_columnar_store.py``; this file covers the corruption paths.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ate import DeviceResultStore
+from repro.exceptions import StoreCorruptionError
+from repro.testing import flip_byte, truncate_tail
+
+
+@pytest.fixture(scope="module")
+def saved(regulator_population, tmp_path_factory):
+    store = regulator_population.to_store()
+    path = store.save(tmp_path_factory.mktemp("store") / "pop")
+    return store, path
+
+
+def reconstructed(path, **kwargs):
+    return DeviceResultStore.load(path, **kwargs)
+
+
+def corrupt_copy(saved_path, tmp_path):
+    """Clone the saved store so each test can damage its own copy."""
+    import shutil
+    clone = tmp_path / "clone"
+    shutil.copytree(saved_path, clone)
+    return clone
+
+
+class TestFormat2:
+    def test_round_trip_is_verified_and_exact(self, saved):
+        store, path = saved
+        meta = json.loads((path / "meta.json").read_text())
+        assert meta["format"] == 2
+        assert meta["magic"] == "RDRS2"
+        assert set(meta["planes"]) >= {"values", "passed", "device_ids"}
+        loaded = reconstructed(path, verify=True)
+        assert np.array_equal(store.values, loaded.values)
+        assert np.array_equal(store.passed, loaded.passed)
+
+    def test_truncated_plane_is_always_detected(self, saved, tmp_path):
+        clone = corrupt_copy(saved[1], tmp_path)
+        truncate_tail(clone / "values.npy", 64)
+        with pytest.raises(StoreCorruptionError) as excinfo:
+            reconstructed(clone)
+        assert excinfo.value.kind == "truncated"
+        # The size check is one stat per plane: it runs even unverified.
+        with pytest.raises(StoreCorruptionError):
+            reconstructed(clone, verify=False)
+
+    def test_flipped_bit_fails_the_crc_check(self, saved, tmp_path):
+        clone = corrupt_copy(saved[1], tmp_path)
+        plane = clone / "values.npy"
+        flip_byte(plane, plane.stat().st_size - 1)
+        with pytest.raises(StoreCorruptionError) as excinfo:
+            reconstructed(clone)
+        assert excinfo.value.kind == "bad-crc"
+        assert excinfo.value.path == str(plane)
+
+    def test_missing_plane_is_structural(self, saved, tmp_path):
+        clone = corrupt_copy(saved[1], tmp_path)
+        (clone / "passed.npy").unlink()
+        with pytest.raises(StoreCorruptionError) as excinfo:
+            reconstructed(clone)
+        assert excinfo.value.kind == "missing-plane"
+
+    def test_wrong_magic_is_rejected(self, saved, tmp_path):
+        clone = corrupt_copy(saved[1], tmp_path)
+        meta = json.loads((clone / "meta.json").read_text())
+        meta["magic"] = "BOGUS"
+        (clone / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(StoreCorruptionError) as excinfo:
+            reconstructed(clone)
+        assert excinfo.value.kind == "bad-magic"
+
+    def test_verify_false_skips_only_the_crc_pass(self, saved, tmp_path):
+        clone = corrupt_copy(saved[1], tmp_path)
+        plane = clone / "values.npy"
+        flip_byte(plane, plane.stat().st_size - 1)
+        # Same length, rotten payload: only the CRC pass can see it.
+        loaded = reconstructed(clone, verify=False)
+        assert loaded.values.shape == saved[0].values.shape
+
+
+class TestLegacyFormat1:
+    def test_loads_unverified(self, saved, tmp_path):
+        clone = corrupt_copy(saved[1], tmp_path)
+        meta = json.loads((clone / "meta.json").read_text())
+        meta["format"] = 1
+        del meta["magic"]
+        del meta["planes"]
+        (clone / "meta.json").write_text(json.dumps(meta))
+        loaded = reconstructed(clone)
+        assert np.array_equal(saved[0].values, loaded.values)
